@@ -1,0 +1,236 @@
+// Command phonocmap-bench regenerates the paper's evaluation (Section
+// III): the Figure 3 random-mapping distributions and the Table II
+// algorithm comparison, plus ablations beyond the paper.
+//
+// Usage:
+//
+//	phonocmap-bench fig3   [-samples 100000] [-seed 1] [-apps PIP,VOPD] [-csv dir]
+//	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla]
+//	phonocmap-bench ablation [-app VOPD] [-seed 1]
+//
+// Defaults reproduce the paper's setup; reduced samples/budgets give
+// quick sanity runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"phonocmap/internal/experiments"
+	"phonocmap/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig3":
+		err = cmdFig3(os.Args[2:])
+	case "table2":
+		err = cmdTable2(os.Args[2:])
+	case "ablation":
+		err = cmdAblation(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "phonocmap-bench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phonocmap-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `phonocmap-bench <command> [flags]
+
+Commands:
+  fig3      probability distributions of SNR and loss over random mappings
+  table2    RS vs GA vs R-PBLA on mesh and torus, both objectives
+  ablation  budget and router ablations (beyond the paper)`)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func cmdFig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	samples := fs.Int("samples", 100_000, "random mappings per application (paper: 100000)")
+	seed := fs.Int64("seed", 1, "random seed")
+	bins := fs.Int("bins", 60, "histogram bins")
+	apps := fs.String("apps", "", "comma-separated app subset (default: all eight)")
+	csvDir := fs.String("csv", "", "write per-app CSV histograms to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	list := splitList(*apps)
+	if len(list) == 0 {
+		list = experiments.PaperApps()
+	}
+	fmt.Printf("Figure 3: distribution of worst-case SNR and power loss over %d random mappings\n", *samples)
+	fmt.Printf("architecture: smallest square mesh per app, Crux router, XY routing, Table I parameters\n\n")
+	for _, app := range list {
+		res, err := experiments.Fig3(app, experiments.Fig3Options{
+			Samples: *samples, Seed: *seed, Bins: *bins,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s ==\n", app)
+		fmt.Printf("SNR  (dB): %s  zero-noise mappings: %d\n", res.SNRSummary.String(), res.SNRSummary.NonFinite())
+		fmt.Printf("loss (dB): %s\n", res.LossSummary.String())
+		fmt.Println("SNR distribution:")
+		fmt.Print(compactHist(res.SNRHist))
+		fmt.Println("loss distribution:")
+		fmt.Print(compactHist(res.LossHist))
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeHistCSV(filepath.Join(*csvDir, "fig3_"+sanitize(app)+"_snr.csv"), res.SNRHist); err != nil {
+				return err
+			}
+			if err := writeHistCSV(filepath.Join(*csvDir, "fig3_"+sanitize(app)+"_loss.csv"), res.LossHist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// compactHist renders only the occupied region of a histogram.
+func compactHist(h *stats.Histogram) string {
+	first, last := -1, -1
+	for i := 0; i < h.NumBins(); i++ {
+		if h.BinCount(i) > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return "  (no in-range samples)\n"
+	}
+	full := h.ASCII(50)
+	lines := strings.Split(strings.TrimRight(full, "\n"), "\n")
+	var b strings.Builder
+	for i := first; i <= last; i++ {
+		b.WriteString(lines[i])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func writeHistCSV(path string, h *stats.Histogram) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "bin_center,count,probability")
+	probs := h.Probabilities()
+	for i := 0; i < h.NumBins(); i++ {
+		fmt.Fprintf(f, "%g,%d,%g\n", h.BinCenter(i), h.BinCount(i), probs[i])
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	budget := fs.Int("budget", 20_000, "evaluation budget per run (the equal-time proxy)")
+	seed := fs.Int64("seed", 1, "random seed")
+	apps := fs.String("apps", "", "comma-separated app subset (default: all eight)")
+	algos := fs.String("algos", "", "comma-separated algorithms (default: rs,ga,rpbla)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Table2Options{
+		Budget:     *budget,
+		Seed:       *seed,
+		Apps:       splitList(*apps),
+		Algorithms: splitList(*algos),
+	}
+	opts.Normalize()
+
+	fmt.Printf("Table II: algorithms comparison (budget %d evaluations per run, seed %d)\n", opts.Budget, opts.Seed)
+	fmt.Printf("smallest square topology per app, Crux router, XY routing; SNR and Loss in dB\n\n")
+	header := fmt.Sprintf("%-15s |", "Application")
+	for _, topoName := range []string{"mesh", "torus"} {
+		for _, a := range opts.Algorithms {
+			header += fmt.Sprintf(" %-17s|", fmt.Sprintf("%s-%s SNR/Loss", topoName, a))
+		}
+	}
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for _, app := range opts.Apps {
+		row, err := experiments.Table2Row(app, opts)
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%-15s |", app)
+		for _, cells := range []map[string]experiments.Cell{row.Mesh, row.Torus} {
+			for _, a := range opts.Algorithms {
+				c := cells[a]
+				line += fmt.Sprintf(" %9.2f %6.2f |", c.SNRDB, c.LossDB)
+			}
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cmdAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	app := fs.String("app", "VOPD", "application")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Budget ablation (R-PBLA, SNR objective, %s):\n", *app)
+	budgets := []int{500, 2000, 8000, 20000}
+	bres, err := experiments.BudgetAblation(*app, budgets, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range bres {
+		fmt.Printf("  %-14s snr %7.2f dB\n", r.Label, r.SNRDB)
+	}
+	fmt.Printf("\nRouter ablation (R-PBLA, SNR objective, %s, budget 8000):\n", *app)
+	rres, err := experiments.RouterAblation(*app, 8000, *seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rres {
+		fmt.Printf("  %-14s snr %7.2f dB\n", r.Label, r.SNRDB)
+	}
+	return nil
+}

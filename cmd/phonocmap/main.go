@@ -1,0 +1,401 @@
+// Command phonocmap is the PhoNoCMap mapping tool: it maps an application
+// communication graph onto a photonic NoC, optimizing worst-case
+// insertion loss or worst-case crosstalk SNR (Fusella & Cilardo, DATE
+// 2016).
+//
+// Usage:
+//
+//	phonocmap map   -app VOPD -topology mesh -width 4 -height 4 \
+//	                -objective snr -algorithm rpbla -budget 20000
+//	phonocmap map   -experiment exp.json [-out result.json]
+//	phonocmap eval  -app PIP -width 3 -height 3 -mapping 0,1,2,3,4,5,6,7
+//	phonocmap apps
+//	phonocmap routers
+//	phonocmap dot   -app MPEG-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phonocmap"
+	"phonocmap/internal/cg"
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/router"
+	"phonocmap/internal/search"
+	"phonocmap/internal/topo"
+	"phonocmap/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "map":
+		err = cmdMap(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "apps":
+		err = cmdApps()
+	case "routers":
+		err = cmdRouters()
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "phonocmap: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phonocmap:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `phonocmap <command> [flags]
+
+Commands:
+  map       optimize a mapping for an application on an architecture
+  eval      evaluate an explicit mapping
+  simulate  optimize a mapping, then run the traffic simulator on it
+  apps      list the bundled benchmark applications
+  routers   list the built-in optical router architectures
+  dot       print an application graph in Graphviz format
+
+Run 'phonocmap <command> -h' for command flags.`)
+}
+
+// archFlags registers the architecture flags shared by map and eval.
+type archFlags struct {
+	topology  *string
+	width     *int
+	height    *int
+	tiles     *int
+	dieCm     *float64
+	wrapCross *int
+	router    *string
+	routing   *string
+}
+
+func addArchFlags(fs *flag.FlagSet) archFlags {
+	return archFlags{
+		topology:  fs.String("topology", "mesh", "topology kind: mesh, torus or ring"),
+		width:     fs.Int("width", 0, "grid width (0 = smallest square fitting the app)"),
+		height:    fs.Int("height", 0, "grid height (0 = smallest square fitting the app)"),
+		tiles:     fs.Int("tiles", 0, "ring tile count"),
+		dieCm:     fs.Float64("die-cm", topo.DefaultDieCm, "die edge length in centimetres"),
+		wrapCross: fs.Int("wrap-crossings", 0, "waveguide crossings per torus wrap link"),
+		router:    fs.String("router", "crux", "optical router: crux, cygnus or crossbar"),
+		routing:   fs.String("routing", "xy", "routing algorithm: xy, yx or bfs"),
+	}
+}
+
+func (a archFlags) spec(app *cg.Graph) config.ArchSpec {
+	w, h := *a.width, *a.height
+	if w == 0 || h == 0 {
+		side := phonocmap.SquareForTasks(app.NumTasks())
+		if w == 0 {
+			w = side
+		}
+		if h == 0 {
+			h = side
+		}
+	}
+	return config.ArchSpec{
+		Topology:      *a.topology,
+		Width:         w,
+		Height:        h,
+		Tiles:         *a.tiles,
+		DieCm:         *a.dieCm,
+		WrapCrossings: *a.wrapCross,
+		Router:        *a.router,
+		Routing:       *a.routing,
+	}
+}
+
+func loadApp(name, file string) (*cg.Graph, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -app or -app-file, not both")
+	case name != "":
+		return cg.App(name)
+	case file != "":
+		spec, err := config.LoadFile[config.AppSpec](file)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build()
+	default:
+		return nil, fmt.Errorf("an application is required: -app <name> or -app-file <json>")
+	}
+}
+
+func cmdMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
+	appFile := fs.String("app-file", "", "custom application JSON file")
+	expFile := fs.String("experiment", "", "full experiment JSON file (overrides other flags)")
+	objective := fs.String("objective", "snr", "objective: snr or loss")
+	algorithm := fs.String("algorithm", "rpbla", "algorithm: "+strings.Join(search.Names(), ", "))
+	budget := fs.Int("budget", 20000, "evaluation budget")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the result as JSON to this file")
+	arch := addArchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var exp config.Experiment
+	if *expFile != "" {
+		var err error
+		exp, err = config.LoadFile[config.Experiment](*expFile)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err := loadApp(*app, *appFile)
+		if err != nil {
+			return err
+		}
+		exp = config.Experiment{
+			App:       config.AppSpec{Builtin: *app},
+			Arch:      arch.spec(g),
+			Objective: *objective,
+			Algorithm: *algorithm,
+			Budget:    *budget,
+			Seed:      *seed,
+		}
+		if *app == "" {
+			exp.App = config.AppSpecOf(g)
+		}
+	}
+	exp.Normalize()
+
+	g, err := exp.App.Build()
+	if err != nil {
+		return err
+	}
+	nw, err := exp.Arch.Build()
+	if err != nil {
+		return err
+	}
+	obj, err := core.ParseObjective(exp.Objective)
+	if err != nil {
+		return err
+	}
+	prob, err := core.NewProblem(g, nw, obj)
+	if err != nil {
+		return err
+	}
+	res, err := phonocmap.Optimize(prob, exp.Algorithm, exp.Budget, exp.Seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("application : %s\n", g)
+	fmt.Printf("architecture: %s\n", nw)
+	fmt.Printf("objective   : %s   algorithm: %s   budget: %d evals   seed: %d\n",
+		exp.Objective, exp.Algorithm, exp.Budget, exp.Seed)
+	fmt.Printf("result      : worst-case loss %.3f dB, worst-case SNR %.3f dB (%d evals, %v)\n",
+		res.Score.WorstLossDB, res.Score.WorstSNRDB, res.Evals, res.Duration.Round(1000000))
+	fmt.Println("mapping     :")
+	for task, tile := range res.Mapping {
+		fmt.Printf("  %-14s -> tile %d\n", g.TaskName(cg.TaskID(task)), tile)
+	}
+	if grid, ok := nw.Topology().(*topo.Grid); ok {
+		if gridStr, err := viz.MappingGrid(grid, g, res.Mapping); err == nil {
+			fmt.Println("\nplacement:")
+			fmt.Print(gridStr)
+		}
+	}
+	if loads, err := viz.LinkUsage(nw, g, res.Mapping); err == nil {
+		fmt.Println("busiest links:")
+		fmt.Print(viz.FormatLinkUsage(loads, 5))
+	}
+	if alloc, err := phonocmap.AllocateWavelengths(nw, g, res.Mapping); err == nil {
+		fmt.Printf("wavelengths for contention-free operation: %d (%d conflicting pairs)\n",
+			alloc.Channels, alloc.Conflicts)
+	}
+	if *out != "" {
+		payload := struct {
+			Experiment config.Experiment `json:"experiment"`
+			Mapping    core.Mapping      `json:"mapping"`
+			Score      core.Score        `json:"score"`
+			Evals      int               `json:"evals"`
+		}{exp, res.Mapping, res.Score, res.Evals}
+		if err := config.SaveFile(*out, payload); err != nil {
+			return err
+		}
+		fmt.Printf("result written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	app := fs.String("app", "", "bundled application name")
+	appFile := fs.String("app-file", "", "custom application JSON file")
+	mapping := fs.String("mapping", "", "comma-separated tile per task, e.g. 0,1,4,5")
+	arch := addArchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadApp(*app, *appFile)
+	if err != nil {
+		return err
+	}
+	if *mapping == "" {
+		return fmt.Errorf("-mapping is required")
+	}
+	parts := strings.Split(*mapping, ",")
+	m := make(core.Mapping, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("bad mapping entry %q: %w", p, err)
+		}
+		m[i] = topo.TileID(v)
+	}
+	nw, err := arch.spec(g).Build()
+	if err != nil {
+		return err
+	}
+	prob, err := core.NewProblem(g, nw, core.MaximizeSNR)
+	if err != nil {
+		return err
+	}
+	res, details, err := prob.Details(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("architecture: %s\n", nw)
+	fmt.Printf("worst-case loss %.3f dB, worst-case SNR %.3f dB, conflicts %d\n",
+		res.WorstLossDB, res.WorstSNRDB, res.Conflicts)
+	fmt.Println("per-communication breakdown:")
+	for i, d := range details {
+		e := g.Edge(i)
+		fmt.Printf("  %-14s -> %-14s loss %7.3f dB  noise %8.3f dB  snr %7.3f dB\n",
+			g.TaskName(e.Src), g.TaskName(e.Dst), d.LossDB, d.NoiseDB, d.SNRDB)
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	app := fs.String("app", "", "bundled application name")
+	appFile := fs.String("app-file", "", "custom application JSON file")
+	objective := fs.String("objective", "snr", "objective: snr or loss")
+	algorithm := fs.String("algorithm", "rpbla", "mapping algorithm")
+	budget := fs.Int("budget", 10000, "optimization evaluation budget")
+	seed := fs.Int64("seed", 1, "random seed")
+	durationNs := fs.Float64("duration-ns", 200_000, "simulated time (ns)")
+	loadScale := fs.Float64("load", 1, "scale factor on CG bandwidths")
+	arch := addArchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadApp(*app, *appFile)
+	if err != nil {
+		return err
+	}
+	nw, err := arch.spec(g).Build()
+	if err != nil {
+		return err
+	}
+	obj, err := core.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	prob, err := core.NewProblem(g, nw, obj)
+	if err != nil {
+		return err
+	}
+	res, err := phonocmap.Optimize(prob, *algorithm, *budget, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := phonocmap.SimConfig{DurationNs: *durationNs, LoadScale: *loadScale, Seed: *seed}
+
+	ident := core.IdentityMapping(g.NumTasks())
+	idStats, err := phonocmap.Simulate(nw, g, ident, cfg)
+	if err != nil {
+		return err
+	}
+	optStats, err := phonocmap.Simulate(nw, g, res.Mapping, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application : %s on %s\n", g, nw)
+	fmt.Printf("optimized   : %s, %s objective, budget %d (worst loss %.2f dB, worst SNR %.2f dB)\n",
+		*algorithm, *objective, *budget, res.Score.WorstLossDB, res.Score.WorstSNRDB)
+	fmt.Printf("\n%-22s %14s %14s\n", "simulated metric", "identity", "optimized")
+	rows := []struct {
+		name     string
+		id, opt  float64
+		decimals int
+	}{
+		{"mean latency (ns)", idStats.MeanLatencyNs, optStats.MeanLatencyNs, 1},
+		{"p95 latency (ns)", idStats.P95LatencyNs, optStats.P95LatencyNs, 1},
+		{"mean wait (ns)", idStats.MeanWaitNs, optStats.MeanWaitNs, 1},
+		{"throughput (Gb/s)", idStats.ThroughputGbps, optStats.ThroughputGbps, 2},
+		{"max link util", idStats.MaxLinkUtilization, optStats.MaxLinkUtilization, 3},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s %14.*f %14.*f\n", r.name, r.decimals, r.id, r.decimals, r.opt)
+	}
+	// Power feasibility of the optimized design point.
+	rep, err := phonocmap.AssessPower(phonocmap.DefaultPowerBudget(), res.Score)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npower budget: %s\n", rep)
+	return nil
+}
+
+func cmdApps() error {
+	for _, name := range cg.AppNames() {
+		g := cg.MustApp(name)
+		side := phonocmap.SquareForTasks(g.NumTasks())
+		fmt.Printf("%-15s %2d tasks, %2d edges, smallest mesh %dx%d\n",
+			name, g.NumTasks(), g.NumEdges(), side, side)
+	}
+	return nil
+}
+
+func cmdRouters() error {
+	for _, name := range phonocmap.Routers() {
+		a, err := router.ByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Summary())
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	app := fs.String("app", "", "bundled application name")
+	appFile := fs.String("app-file", "", "custom application JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadApp(*app, *appFile)
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.DOT())
+	return nil
+}

@@ -1,0 +1,118 @@
+// Custom router: demonstrate the extensibility claim of the paper — new
+// optical router microarchitectures plug into PhoNoCMap without touching
+// the tool core. This example hand-builds an XY-only reduced crossbar
+// with the router.Builder API, wires it into a network, and compares its
+// mapping quality against the built-in Crux reconstruction.
+//
+// Run with:
+//
+//	go run ./examples/custom_router
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phonocmap"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/route"
+	"phonocmap/internal/router"
+	"phonocmap/internal/topo"
+)
+
+// buildReducedCrossbar assembles a 5x5 matrix crossbar that implements
+// only the 16 turns XY routing needs: the four Y-to-X turn rings of a
+// full crossbar are omitted (their intersections become plain crossings),
+// trading generality for 16 rings instead of 20.
+func buildReducedCrossbar() *router.Architecture {
+	b := router.NewBuilder("xbar-xy")
+	needed := make(map[[2]router.Port]bool)
+	for _, t := range router.RequiredTurnsXY() {
+		needed[[2]router.Port{t[0], t[1]}] = true
+	}
+	var elem [router.NumPorts][router.NumPorts]router.ElemID
+	for i := router.Port(0); i < router.NumPorts; i++ {
+		for j := router.Port(0); j < router.NumPorts; j++ {
+			kind := photonic.Crossing
+			if needed[[2]router.Port{i, j}] {
+				kind = photonic.CPSE // ring only where a turn exists
+			}
+			elem[i][j] = b.AddElement(kind, fmt.Sprintf("x%d%d", i, j))
+		}
+	}
+	for turn := range needed {
+		i, j := turn[0], turn[1]
+		var path []router.Traversal
+		for k := router.Port(0); k < j; k++ {
+			path = append(path, router.Traversal{Elem: elem[i][k], In: photonic.PortA0, State: photonic.Off})
+		}
+		path = append(path, router.Traversal{Elem: elem[i][j], In: photonic.PortA0, State: photonic.On})
+		for m := i + 1; m < router.NumPorts; m++ {
+			path = append(path, router.Traversal{Elem: elem[m][j], In: photonic.PortB0, State: photonic.Off})
+		}
+		b.SetPath(i, j, path)
+	}
+	arch, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return arch
+}
+
+func main() {
+	custom := buildReducedCrossbar()
+	fmt.Println("custom router :", custom.Summary())
+	fmt.Println("built-in crux :", router.Crux().Summary())
+
+	// The custom router must provide every turn XY routing produces;
+	// CheckTurns is the validation hook architectures go through.
+	if err := router.CheckTurns(custom, router.RequiredTurnsXY()); err != nil {
+		log.Fatal(err)
+	}
+
+	app := phonocmap.MustApp("MWD")
+	grid, err := topo.NewMesh(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmapping %s with R-PBLA (budget 6000, both objectives):\n", app)
+	results := make(map[string]phonocmap.Score)
+	for _, arch := range []*router.Architecture{custom, router.Crux()} {
+		nw, err := network.New(grid, arch, route.XY{}, photonic.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var score phonocmap.Score
+		for _, obj := range []phonocmap.Objective{phonocmap.MaximizeSNR, phonocmap.MinimizeLoss} {
+			prob, err := core.NewProblem(app, nw, obj)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := phonocmap.Optimize(prob, "rpbla", 6000, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if obj == phonocmap.MaximizeSNR {
+				score.WorstSNRDB = res.Score.WorstSNRDB
+			} else {
+				score.WorstLossDB = res.Score.WorstLossDB
+			}
+		}
+		results[arch.Name()] = score
+		fmt.Printf("  %-9s worst-case SNR %7.2f dB, worst-case loss %7.2f dB\n",
+			arch.Name(), score.WorstSNRDB, score.WorstLossDB)
+	}
+
+	fmt.Println("\ninterpretation: the two microarchitectures trade differently —")
+	fmt.Println("the matrix crossbar spreads paths over disjoint rows and columns")
+	fmt.Println("(its idealized netlist has no gateway coupling, so crosstalk-free")
+	fmt.Println("mappings can exist), while the Crux layout concentrates traffic")
+	fmt.Println("through a compact centre and wins on insertion loss:")
+	fmt.Printf("  loss: crux %.2f dB vs %s %.2f dB\n",
+		results["crux"].WorstLossDB, custom.Name(), results[custom.Name()].WorstLossDB)
+	fmt.Println("router microarchitecture and mapping quality interact; swapping the")
+	fmt.Println("router is one Builder call, with no change to the tool core.")
+}

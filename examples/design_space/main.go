@@ -1,0 +1,96 @@
+// Design space: the multi-objective and robustness view of mapping
+// exploration, beyond the paper's single-objective runs. The example
+// archives the Pareto front of (worst-case loss, worst-case SNR) during
+// an R-PBLA run on VOPD, picks the knee point, allocates WDM wavelengths
+// for it, stresses it with 20% photonic parameter variation, and
+// finally checks every single-link failure with BFS rerouting on an
+// all-turn Cygnus network.
+//
+// Run with:
+//
+//	go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phonocmap"
+)
+
+func main() {
+	app := phonocmap.MustApp("VOPD")
+	net, err := phonocmap.NewMeshNetwork(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := phonocmap.NewProblem(app, net, phonocmap.MaximizeSNR)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Pareto front over 10 000 evaluations.
+	front, err := phonocmap.ParetoExplore(prob, "rpbla", 10000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto front of %s on %s (%d points):\n", app.Name(), net, len(front))
+	for _, p := range front {
+		fmt.Printf("  loss %6.2f dB   SNR %6.2f dB\n", p.WorstLossDB, p.WorstSNRDB)
+	}
+
+	// Pick the knee: the point with the best sum of normalized ranks.
+	knee := front[len(front)/2]
+	fmt.Printf("\nknee point: loss %.2f dB, SNR %.2f dB\n", knee.WorstLossDB, knee.WorstSNRDB)
+
+	// 2. WDM allocation for the knee mapping.
+	alloc, err := phonocmap.AllocateWavelengths(net, app, knee.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, wdmSNR, err := phonocmap.EvaluateWDM(net, app, knee.Mapping, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WDM: %d wavelength(s) remove %d conflicting pairs; worst SNR %.2f dB\n",
+		alloc.Channels, alloc.Conflicts, wdmSNR)
+
+	// 3. Robustness to 20% coefficient variation (process + thermal).
+	vr, err := phonocmap.AssessVariation(net, app, knee.Mapping, 40, 0.2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparameter variation (40 samples, ±20%%):\n")
+	fmt.Printf("  loss: mean %6.2f dB, sd %4.2f, worst draw %6.2f dB\n",
+		vr.Loss.Mean(), vr.Loss.StdDev(), vr.WorstLossDB)
+	fmt.Printf("  SNR : mean %6.2f dB, sd %4.2f, worst draw %6.2f dB\n",
+		vr.SNR.Mean(), vr.SNR.StdDev(), vr.WorstSNRDB)
+
+	// 4. Single-link failures with BFS detours (needs an all-turn
+	// router: rebuild the design point on Cygnus).
+	cygnus, err := phonocmap.NewNetwork(phonocmap.ArchSpec{
+		Topology: "mesh", Width: 4, Height: 4, Router: "cygnus", Routing: "bfs",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	failures, err := phonocmap.AssessLinkFailures(cygnus, app, knee.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := phonocmap.FailureResult{WorstLossDB: 0}
+	unreachable := 0
+	for _, f := range failures {
+		if f.Unreachable {
+			unreachable++
+			continue
+		}
+		if f.WorstLossDB < worst.WorstLossDB {
+			worst = f
+		}
+	}
+	fmt.Printf("\nlink failures (%d single-link cuts, BFS rerouting on cygnus):\n", len(failures))
+	fmt.Printf("  unreachable scenarios: %d\n", unreachable)
+	fmt.Printf("  worst cut %v: loss %.2f dB, SNR %.2f dB\n",
+		worst.Failed, worst.WorstLossDB, worst.WorstSNRDB)
+}

@@ -1,0 +1,106 @@
+// Multimedia suite: run the full Table II protocol of the paper at a
+// reduced budget — all eight multimedia applications, three algorithms,
+// mesh and torus, both objectives — and verify the paper's qualitative
+// claims on the way.
+//
+// Run with:
+//
+//	go run ./examples/multimedia_suite [-budget 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"phonocmap"
+)
+
+type runKey struct {
+	app, algo string
+	torus     bool
+}
+
+func main() {
+	budget := flag.Int("budget", 4000, "evaluation budget per run")
+	flag.Parse()
+
+	algos := []string{"rs", "ga", "rpbla"}
+	fmt.Printf("%-15s %-6s | %8s %8s | %8s %8s\n",
+		"application", "algo", "meshSNR", "meshLoss", "torusSNR", "torusLoss")
+
+	snr := make(map[runKey]float64)
+	loss := make(map[runKey]float64)
+
+	for _, appName := range phonocmap.Apps() {
+		app := phonocmap.MustApp(appName)
+		side := phonocmap.SquareForTasks(app.NumTasks())
+		for _, algo := range algos {
+			for _, torus := range []bool{false, true} {
+				var net *phonocmap.Network
+				var err error
+				if torus {
+					net, err = phonocmap.NewTorusNetwork(side, side)
+				} else {
+					net, err = phonocmap.NewMeshNetwork(side, side)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				k := runKey{appName, algo, torus}
+				snr[k] = optimize(app, net, phonocmap.MaximizeSNR, algo, *budget).WorstSNRDB
+				loss[k] = optimize(app, net, phonocmap.MinimizeLoss, algo, *budget).WorstLossDB
+			}
+			fmt.Printf("%-15s %-6s | %8.2f %8.2f | %8.2f %8.2f\n",
+				appName, algo,
+				snr[runKey{appName, algo, false}], loss[runKey{appName, algo, false}],
+				snr[runKey{appName, algo, true}], loss[runKey{appName, algo, true}])
+		}
+	}
+
+	// Check the paper's qualitative claims on this run.
+	fmt.Println("\nqualitative checks (paper, Section III):")
+	check := func(name string, ok bool) {
+		status := "OK "
+		if !ok {
+			status = "MISS"
+		}
+		fmt.Printf("  [%s] %s\n", status, name)
+	}
+	gaBeatsRS, rpblaCompetitive := 0, 0
+	for _, appName := range phonocmap.Apps() {
+		if snr[runKey{appName, "ga", false}] >= snr[runKey{appName, "rs", false}] {
+			gaBeatsRS++
+		}
+		if snr[runKey{appName, "rpbla", false}] >= snr[runKey{appName, "ga", false}]-1.0 {
+			rpblaCompetitive++
+		}
+	}
+	check(fmt.Sprintf("GA >= RS on mesh SNR for %d/8 apps", gaBeatsRS), gaBeatsRS >= 6)
+	check(fmt.Sprintf("R-PBLA within 1 dB of GA or better on mesh SNR for %d/8 apps", rpblaCompetitive), rpblaCompetitive >= 6)
+	check("DVOPD (biggest topology) has the worst RS mesh loss", worstLossApp(loss) == "DVOPD")
+	check("MPEG-4 (densest CG) does worse than MWD (sparse) on mesh SNR",
+		snr[runKey{"MPEG-4", "rpbla", false}] <= snr[runKey{"MWD", "rpbla", false}])
+}
+
+func optimize(app *phonocmap.Graph, net *phonocmap.Network, obj phonocmap.Objective, algo string, budget int) phonocmap.Score {
+	prob, err := phonocmap.NewProblem(app, net, obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := phonocmap.Optimize(prob, algo, budget, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Score
+}
+
+func worstLossApp(loss map[runKey]float64) string {
+	worst, worstApp := 0.0, ""
+	for _, appName := range phonocmap.Apps() {
+		if v := loss[runKey{appName, "rs", false}]; v < worst {
+			worst, worstApp = v, appName
+		}
+	}
+	return worstApp
+}

@@ -1,0 +1,87 @@
+// Power and traffic: close the loop the paper's introduction opens. The
+// injected laser power must exceed the detector sensitivity plus the
+// worst-case insertion loss but stay below the silicon nonlinearity
+// ceiling — so the worst-case loss of a mapping directly bounds how far
+// a photonic NoC scales. This example optimizes mappings of the DVOPD
+// decoder on growing meshes, assesses the optical power feasibility of
+// each design point (including WDM variants), and runs the traffic
+// simulator on the final mapping.
+//
+// Run with:
+//
+//	go run ./examples/power_and_traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phonocmap"
+)
+
+func main() {
+	app := phonocmap.MustApp("DVOPD")
+	fmt.Println("application:", app)
+	fmt.Println()
+
+	// Sweep mesh sizes from the smallest that fits upward; larger
+	// meshes mean longer paths, more loss, less power headroom.
+	fmt.Printf("%-8s %12s %12s %14s %12s\n", "mesh", "loss (dB)", "SNR (dB)", "laser (dBm/ch)", "headroom")
+	budget := phonocmap.DefaultPowerBudget()
+	budget.Wavelengths = 8 // an 8-channel WDM design point
+	var lastMapping phonocmap.Mapping
+	var lastNet *phonocmap.Network
+	for side := 6; side <= 9; side++ {
+		net, err := phonocmap.NewMeshNetwork(side, side)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prob, err := phonocmap.NewProblem(app, net, phonocmap.MinimizeLoss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := phonocmap.Optimize(prob, "rpbla", 6000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := phonocmap.AssessPower(budget, res.Score)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%dx%-6d %12.2f %12.2f %14.2f %9.2f dB\n",
+			side, side, res.Score.WorstLossDB, res.Score.WorstSNRDB,
+			rep.ChannelPowerDBm, rep.HeadroomDB)
+		if side == 6 {
+			lastMapping, lastNet = res.Mapping, net
+		}
+	}
+
+	// How many WDM channels does the 6x6 design point support?
+	net6 := lastNet
+	prob, err := phonocmap.NewProblem(app, net6, phonocmap.MinimizeLoss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score, err := phonocmap.Evaluate(prob, lastMapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := phonocmap.AssessPower(phonocmap.DefaultPowerBudget(), score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6x6 design point: %s\n", rep)
+
+	// Dynamic behaviour of the optimized mapping under load.
+	fmt.Println("\ntraffic simulation (circuit switching, 40 Gb/s per wavelength):")
+	for _, load := range []float64{0.5, 1, 2} {
+		st, err := phonocmap.Simulate(net6, app, lastMapping, phonocmap.SimConfig{
+			DurationNs: 200_000, LoadScale: load, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  load x%-4.1f mean latency %7.1f ns, p95 %7.1f ns, throughput %6.2f Gb/s, max util %.2f\n",
+			load, st.MeanLatencyNs, st.P95LatencyNs, st.ThroughputGbps, st.MaxLinkUtilization)
+	}
+}

@@ -1,0 +1,279 @@
+// Package analysis implements the physical-layer models of PhoNoCMap
+// (Section II-C of the paper): worst-case insertion loss and worst-case
+// signal-to-noise ratio of a set of simultaneously active communications
+// on a photonic NoC.
+//
+// Insertion loss of one communication is the accumulated dB loss of its
+// element-level path (network.Path.TotalLoss). Crosstalk noise received
+// by a victim communication aggregates, over every element its path
+// shares with any other active communication ("holistic view", Section
+// II-D.1), the first-order leakage of the aggressor's power into the
+// victim's output port:
+//
+//	PN += Pin * L_agg(source..element) * K(element) * L_victim(element..detector)
+//
+// with K chosen by the element kind and the victim-centric ring state
+// (Eqs. 1b, 1d, 1f, 1h, 1j), no loss applied inside the generating
+// element (Ki*Li = Ki), and no second-order noise (Ki*Kj = 0). The
+// injected power Pin is identical for all communications and cancels in
+// the SNR ratio, so all arithmetic is relative to Pin = 0 dB.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/topo"
+)
+
+// Communication is one active source-destination tile pair.
+type Communication struct {
+	Src, Dst topo.TileID
+}
+
+// Result aggregates the worst-case metrics of one evaluation.
+type Result struct {
+	// WorstLossDB is ILdB_wc: the most negative end-to-end insertion
+	// loss over all communications (Eq. 3).
+	WorstLossDB float64
+	// WorstSNRDB is SNR_wc: the smallest SNR over all communications
+	// (Eq. 4). +Inf when no communication receives any crosstalk.
+	WorstSNRDB float64
+	// WorstLossIdx / WorstSNRIdx are the indices (into the evaluated
+	// communication slice) of the critical communications.
+	WorstLossIdx int
+	WorstSNRIdx  int
+	// Conflicts counts element sharings that were skipped because both
+	// signals entered on the same waveguide — wavelength contention
+	// rather than crosstalk. Each sharing is counted from each victim's
+	// perspective, so one contending pair contributes 2. Large values
+	// flag mappings that serialize traffic.
+	Conflicts int
+	// AvgLossDB is the (optionally weighted) mean insertion loss over
+	// all communications — the bandwidth-weighted energy proxy used by
+	// the extension objective. Weighted only when the evaluation was
+	// performed through EvaluateWeighted.
+	AvgLossDB float64
+}
+
+// Detail is the per-communication breakdown produced by Detailed.
+type Detail struct {
+	// LossDB is the end-to-end insertion loss (<= 0).
+	LossDB float64
+	// NoiseDB is the total first-order crosstalk power at the detector
+	// relative to the injected power; -Inf when no noise is received.
+	NoiseDB float64
+	// SNRDB is LossDB - NoiseDB (signal over noise at the detector);
+	// +Inf when no noise is received.
+	SNRDB float64
+}
+
+// occupant records that a communication's step traverses an element.
+type occupant struct {
+	comm int
+	step int
+}
+
+// Evaluator computes worst-case loss and SNR for communication sets on
+// one network. It reuses internal buffers across calls and is therefore
+// not safe for concurrent use; use Clone to obtain independent evaluators
+// for parallel search.
+type Evaluator struct {
+	nw *network.Network
+	// occupants[elem] lists the communications traversing the element in
+	// the current evaluation; touched tracks dirtied entries for O(paths)
+	// cleanup.
+	occupants [][]occupant
+	touched   []network.GlobalElem
+	paths     []*network.Path
+	// leak[kind][state] caches the dB leak coefficients.
+	leak [3][2]float64
+	// weights, when non-nil, turn AvgLossDB into a weighted mean (set
+	// transiently by EvaluateWeighted).
+	weights []float64
+}
+
+// NewEvaluator returns an evaluator for the given network.
+func NewEvaluator(nw *network.Network) *Evaluator {
+	e := &Evaluator{
+		nw:        nw,
+		occupants: make([][]occupant, nw.NumElements()),
+	}
+	p := nw.Params()
+	for _, k := range []photonic.Kind{photonic.Crossing, photonic.PPSE, photonic.CPSE} {
+		for _, s := range []photonic.State{photonic.Off, photonic.On} {
+			e.leak[k][s] = p.LeakCoeff(k, s)
+		}
+	}
+	return e
+}
+
+// Clone returns an independent evaluator sharing the (immutable) network.
+func (e *Evaluator) Clone() *Evaluator { return NewEvaluator(e.nw) }
+
+// Network returns the evaluated network.
+func (e *Evaluator) Network() *network.Network { return e.nw }
+
+// Evaluate computes the worst-case metrics of the communication set. All
+// communications are considered simultaneously active, the paper's
+// holistic worst case. Evaluate allocates nothing on the steady state.
+func (e *Evaluator) Evaluate(comms []Communication) (Result, error) {
+	return e.run(comms, nil, nil)
+}
+
+// Detailed is Evaluate plus a per-communication breakdown appended to dst
+// (one Detail per communication, in order).
+func (e *Evaluator) Detailed(comms []Communication, dst []Detail) (Result, []Detail, error) {
+	if cap(dst) < len(comms) {
+		dst = make([]Detail, len(comms))
+	} else {
+		dst = dst[:len(comms)]
+	}
+	res, err := e.run(comms, dst, nil)
+	return res, dst, err
+}
+
+// EvaluateWeighted is Evaluate with per-communication weights (typically
+// CG edge bandwidths): Result.AvgLossDB becomes the weight-averaged
+// insertion loss, the cost proxy of bandwidth-aware mapping objectives.
+// Weights must be non-negative with a positive sum.
+func (e *Evaluator) EvaluateWeighted(comms []Communication, weights []float64) (Result, error) {
+	if len(weights) != len(comms) {
+		return Result{}, fmt.Errorf("analysis: %d weights for %d communications", len(weights), len(comms))
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Result{}, fmt.Errorf("analysis: invalid weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return Result{}, fmt.Errorf("analysis: weights sum to %v, need > 0", sum)
+	}
+	e.weights = weights
+	res, err := e.run(comms, nil, nil)
+	e.weights = nil
+	return res, err
+}
+
+// EvaluateChanneled is Evaluate under wavelength-division multiplexing:
+// channel[i] is the wavelength assigned to communication i, and only
+// same-wavelength pairs exchange first-order crosstalk or contend —
+// different wavelengths coexist on a waveguide by construction. A nil
+// channel slice degenerates to the single-wavelength Evaluate.
+func (e *Evaluator) EvaluateChanneled(comms []Communication, channel []int) (Result, error) {
+	if channel != nil && len(channel) != len(comms) {
+		return Result{}, fmt.Errorf("analysis: %d channels for %d communications", len(channel), len(comms))
+	}
+	return e.run(comms, nil, channel)
+}
+
+func (e *Evaluator) run(comms []Communication, details []Detail, channel []int) (Result, error) {
+	if len(comms) == 0 {
+		return Result{}, fmt.Errorf("analysis: no communications to evaluate")
+	}
+	n := e.nw.NumTiles()
+	if cap(e.paths) < len(comms) {
+		e.paths = make([]*network.Path, len(comms))
+	}
+	e.paths = e.paths[:len(comms)]
+	for i, c := range comms {
+		if c.Src < 0 || int(c.Src) >= n || c.Dst < 0 || int(c.Dst) >= n {
+			return Result{}, fmt.Errorf("analysis: communication %d: tile out of range (%d->%d)", i, c.Src, c.Dst)
+		}
+		if c.Src == c.Dst {
+			return Result{}, fmt.Errorf("analysis: communication %d: source and destination coincide at tile %d", i, c.Src)
+		}
+		e.paths[i] = e.nw.Path(c.Src, c.Dst)
+	}
+
+	// Build element occupancy.
+	for _, g := range e.touched {
+		e.occupants[g] = e.occupants[g][:0]
+	}
+	e.touched = e.touched[:0]
+	for ci, p := range e.paths {
+		for si := range p.Steps {
+			g := p.Steps[si].Node
+			if len(e.occupants[g]) == 0 {
+				e.touched = append(e.touched, g)
+			}
+			e.occupants[g] = append(e.occupants[g], occupant{comm: ci, step: si})
+		}
+	}
+
+	res := Result{
+		WorstLossDB:  0,
+		WorstSNRDB:   math.Inf(1),
+		WorstLossIdx: -1,
+		WorstSNRIdx:  -1,
+	}
+	lossSum, weightSum := 0.0, 0.0
+	for vi, vp := range e.paths {
+		noiseLin := 0.0
+		for si := range vp.Steps {
+			vs := &vp.Steps[si]
+			occ := e.occupants[vs.Node]
+			if len(occ) < 2 {
+				continue
+			}
+			// Victim downstream loss excludes the generating element
+			// itself (Ki*Li = Ki simplification).
+			downstream := vp.TotalLoss - vs.LossBefore - vs.Loss
+			for _, o := range occ {
+				if o.comm == vi {
+					continue
+				}
+				if channel != nil && channel[o.comm] != channel[vi] {
+					continue // different wavelengths do not interact
+				}
+				as := &e.paths[o.comm].Steps[o.step]
+				if as.In == vs.In || as.Out == vs.Out {
+					// Same input waveguide (the signals already share
+					// the upstream segment) or same output waveguide
+					// (the signals merge downstream): single-wavelength
+					// contention, not crosstalk. Worst-case SNR analysis
+					// skips these and reports them separately.
+					res.Conflicts++
+					continue
+				}
+				if !photonic.LeaksInto(vs.Kind, vs.State, as.In, vs.Out) {
+					continue
+				}
+				k := e.leak[vs.Kind][vs.State]
+				noiseLin += photonic.DBToLinear(k + as.LossBefore + downstream)
+			}
+		}
+		loss := vp.TotalLoss
+		if res.WorstLossIdx < 0 || loss < res.WorstLossDB {
+			res.WorstLossDB = loss
+			res.WorstLossIdx = vi
+		}
+		w := 1.0
+		if e.weights != nil {
+			w = e.weights[vi]
+		}
+		lossSum += w * loss
+		weightSum += w
+		snr := math.Inf(1)
+		noiseDB := math.Inf(-1)
+		if noiseLin > 0 {
+			noiseDB = photonic.LinearToDB(noiseLin)
+			snr = loss - noiseDB
+		}
+		if res.WorstSNRIdx < 0 || snr < res.WorstSNRDB {
+			res.WorstSNRDB = snr
+			res.WorstSNRIdx = vi
+		}
+		if details != nil {
+			details[vi] = Detail{LossDB: loss, NoiseDB: noiseDB, SNRDB: snr}
+		}
+	}
+	if weightSum > 0 {
+		res.AvgLossDB = lossSum / weightSum
+	}
+	return res, nil
+}

@@ -1,0 +1,356 @@
+package cg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file contains the eight multimedia benchmark applications of the
+// paper's case studies (Section III): streaming video and image processing
+// task graphs widely used in the NoC mapping literature.
+//
+// Task counts match the paper exactly:
+//
+//	263dec_mp3dec 14, 263enc_mp3enc 12, DVOPD 32, MPEG-4 12, MWD 12,
+//	PIP 8, VOPD 16, Wavelet 22.
+//
+// Edge sets follow the commonly published versions of these graphs
+// (Bertozzi / Murali / Hu-Marculescu lineage) and honour the edge-count
+// hints given in the paper: MPEG-4 has 26 directed edges; 263enc_mp3enc
+// and MWD have 12. For graphs whose literature versions differ in detail
+// (Wavelet, the inter-decoder coupling of DVOPD, the auxiliary cores of
+// the 16-task VOPD), the structure is a documented reconstruction that
+// preserves the application's pipeline-with-memory-feedback shape. Note
+// that the paper's objectives (worst-case insertion loss and SNR) depend
+// only on the edge set, never on bandwidth values; bandwidths (MB/s) are
+// carried for completeness.
+
+// AppNames returns the names of the built-in benchmark applications in
+// alphabetical order, matching the rows of Table II.
+func AppNames() []string {
+	names := make([]string, 0, len(appBuilders))
+	for name := range appBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// App returns a fresh copy of the named benchmark application.
+func App(name string) (*Graph, error) {
+	b, ok := appBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("cg: unknown application %q (have %v)", name, AppNames())
+	}
+	return b(), nil
+}
+
+// MustApp is App that panics on unknown names.
+func MustApp(name string) *Graph {
+	g, err := App(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+var appBuilders = map[string]func() *Graph{
+	"263dec_mp3dec": H263DecMP3Dec,
+	"263enc_mp3enc": H263EncMP3Enc,
+	"DVOPD":         DVOPD,
+	"MPEG-4":        MPEG4,
+	"MWD":           MWD,
+	"PIP":           PIP,
+	"VOPD":          VOPD,
+	"Wavelet":       Wavelet,
+}
+
+// PIP returns the picture-in-picture application: 8 tasks, 8 edges.
+// Two input streams are scaled and juggled into a shared memory feeding
+// the output display.
+func PIP() *Graph {
+	g := New("PIP")
+	inpA := g.MustAddTask("inp_mem_a")
+	hs := g.MustAddTask("hs")
+	vs := g.MustAddTask("vs")
+	jug1 := g.MustAddTask("jug1")
+	inpB := g.MustAddTask("inp_mem_b")
+	jug2 := g.MustAddTask("jug2")
+	mem := g.MustAddTask("mem")
+	disp := g.MustAddTask("op_disp")
+
+	g.MustAddEdge(inpA, hs, 128)
+	g.MustAddEdge(hs, vs, 64)
+	g.MustAddEdge(vs, jug1, 64)
+	g.MustAddEdge(jug1, mem, 64)
+	g.MustAddEdge(inpB, jug2, 64)
+	g.MustAddEdge(jug2, mem, 64)
+	g.MustAddEdge(mem, disp, 64)
+	g.MustAddEdge(inpA, disp, 64)
+	return g
+}
+
+// MWD returns the multi-window display application: 12 tasks, 12 edges
+// (the edge count cited in the paper). Two processing chains — a
+// horizontal/vertical scaling pipeline and a sharpness-enhancement branch
+// — are blended and juggled to the display.
+func MWD() *Graph {
+	g := New("MWD")
+	in := g.MustAddTask("in")
+	nr := g.MustAddTask("nr")
+	mem1 := g.MustAddTask("mem1")
+	hs := g.MustAddTask("hs")
+	vs := g.MustAddTask("vs")
+	mem2 := g.MustAddTask("mem2")
+	hvs := g.MustAddTask("hvs")
+	mem3 := g.MustAddTask("mem3")
+	se := g.MustAddTask("se")
+	blend := g.MustAddTask("blend")
+	jug := g.MustAddTask("jug")
+	disp := g.MustAddTask("op_disp")
+
+	g.MustAddEdge(in, nr, 128)
+	g.MustAddEdge(nr, mem1, 64)
+	g.MustAddEdge(mem1, hs, 64)
+	g.MustAddEdge(hs, vs, 64)
+	g.MustAddEdge(vs, mem2, 64)
+	g.MustAddEdge(mem2, hvs, 64)
+	g.MustAddEdge(hvs, blend, 64)
+	g.MustAddEdge(in, mem3, 96)
+	g.MustAddEdge(mem3, se, 96)
+	g.MustAddEdge(se, blend, 96)
+	g.MustAddEdge(blend, jug, 64)
+	g.MustAddEdge(jug, disp, 64)
+	return g
+}
+
+// MPEG4 returns the MPEG-4 decoder: 12 tasks and 26 directed edges (the
+// count cited in the paper), dominated by the SDRAM hub that exchanges
+// data with most functional units — the densest CG of the suite.
+func MPEG4() *Graph {
+	g := New("MPEG-4")
+	vu := g.MustAddTask("vu")
+	au := g.MustAddTask("au")
+	medCPU := g.MustAddTask("med_cpu")
+	rast := g.MustAddTask("rast")
+	idct := g.MustAddTask("idct")
+	upSamp := g.MustAddTask("up_samp")
+	bab := g.MustAddTask("bab")
+	risc := g.MustAddTask("risc")
+	adsp := g.MustAddTask("adsp")
+	sdram := g.MustAddTask("sdram")
+	sram1 := g.MustAddTask("sram1")
+	sram2 := g.MustAddTask("sram2")
+
+	pair := func(a, b TaskID, bw float64) {
+		g.MustAddEdge(a, b, bw)
+		g.MustAddEdge(b, a, bw)
+	}
+	pair(vu, sdram, 190)
+	pair(au, sdram, 173)
+	pair(medCPU, sdram, 60)
+	pair(rast, sdram, 640)
+	pair(idct, sdram, 250)
+	pair(upSamp, sdram, 500)
+	pair(bab, sdram, 32)
+	pair(risc, sdram, 500)
+	pair(adsp, sram1, 64)
+	pair(medCPU, sram2, 64)
+	pair(risc, rast, 500)
+	pair(vu, upSamp, 60)
+	pair(au, adsp, 64)
+	return g
+}
+
+// VOPD returns the video object plane decoder: 16 tasks, 21 edges. The
+// core is the classic VLD -> inverse-scan -> AC/DC prediction -> iQuant ->
+// IDCT -> upsampling -> reconstruction pipeline with stripe-memory and
+// padding feedback loops, plus the ARM controller, motion-compensation
+// decoder and display back-end of the 16-core version.
+func VOPD() *Graph {
+	g := New("VOPD")
+	vld := g.MustAddTask("vld")
+	runLeDec := g.MustAddTask("run_le_dec")
+	invScan := g.MustAddTask("inv_scan")
+	acdcPred := g.MustAddTask("acdc_pred")
+	stripeMem := g.MustAddTask("stripe_mem")
+	iquan := g.MustAddTask("iquan")
+	idct := g.MustAddTask("idct")
+	upSamp := g.MustAddTask("up_samp")
+	vopRec := g.MustAddTask("vop_rec")
+	pad := g.MustAddTask("pad")
+	vopMem := g.MustAddTask("vop_mem")
+	arm := g.MustAddTask("arm")
+	mcDec := g.MustAddTask("mc_dec")
+	mem2 := g.MustAddTask("mem2")
+	filt := g.MustAddTask("filt")
+	disp := g.MustAddTask("op_disp")
+
+	g.MustAddEdge(vld, runLeDec, 70)
+	g.MustAddEdge(runLeDec, invScan, 362)
+	g.MustAddEdge(invScan, acdcPred, 362)
+	g.MustAddEdge(acdcPred, stripeMem, 49)
+	g.MustAddEdge(stripeMem, acdcPred, 27)
+	g.MustAddEdge(acdcPred, iquan, 357)
+	g.MustAddEdge(iquan, idct, 353)
+	g.MustAddEdge(idct, upSamp, 300)
+	g.MustAddEdge(upSamp, vopRec, 313)
+	g.MustAddEdge(vopRec, pad, 500)
+	g.MustAddEdge(pad, vopRec, 94)
+	g.MustAddEdge(pad, vopMem, 500)
+	g.MustAddEdge(vopMem, arm, 16)
+	g.MustAddEdge(arm, vopMem, 16)
+	g.MustAddEdge(arm, mcDec, 16)
+	g.MustAddEdge(mcDec, mem2, 75)
+	g.MustAddEdge(mem2, mcDec, 75)
+	g.MustAddEdge(mcDec, vopRec, 500)
+	g.MustAddEdge(idct, mcDec, 16)
+	g.MustAddEdge(vopMem, filt, 94)
+	g.MustAddEdge(filt, disp, 64)
+	return g
+}
+
+// DVOPD returns the dual video object plane decoder: 32 tasks — two
+// complete VOPD instances whose ARM controllers exchange synchronisation
+// traffic, as in the dual-stream decoder of the literature. This is the
+// largest application of the suite and drives the 6x6 topologies.
+func DVOPD() *Graph {
+	g := New("DVOPD")
+	ids := [2][]TaskID{}
+	for copyIdx := 0; copyIdx < 2; copyIdx++ {
+		suffix := fmt.Sprintf("_%d", copyIdx+1)
+		v := VOPD()
+		local := make([]TaskID, v.NumTasks())
+		for t := 0; t < v.NumTasks(); t++ {
+			local[t] = g.MustAddTask(v.TaskName(TaskID(t)) + suffix)
+		}
+		for _, e := range v.Edges() {
+			g.MustAddEdge(local[e.Src], local[e.Dst], e.Bandwidth)
+		}
+		ids[copyIdx] = local
+	}
+	// Cross-decoder synchronisation between the two ARM controllers
+	// (task index 11 within each VOPD copy).
+	arm1, arm2 := ids[0][11], ids[1][11]
+	g.MustAddEdge(arm1, arm2, 16)
+	g.MustAddEdge(arm2, arm1, 16)
+	return g
+}
+
+// H263DecMP3Dec returns the combined H.263 video decoder and MP3 audio
+// decoder: 14 tasks. The two decoders run side by side and share only the
+// front-end de-multiplexer, following the Hu-Marculescu partitioning.
+func H263DecMP3Dec() *Graph {
+	g := New("263dec_mp3dec")
+	demux := g.MustAddTask("demux")
+	// H.263 decoder chain (8 tasks).
+	vld := g.MustAddTask("vld")
+	iq := g.MustAddTask("iq")
+	idct := g.MustAddTask("idct")
+	mc := g.MustAddTask("mc")
+	frameMem := g.MustAddTask("frame_mem")
+	up := g.MustAddTask("up_samp")
+	disp := g.MustAddTask("disp")
+	// MP3 decoder chain (6 tasks).
+	huff := g.MustAddTask("huffman")
+	deq := g.MustAddTask("dequant")
+	stereo := g.MustAddTask("stereo")
+	imdct := g.MustAddTask("imdct")
+	synth := g.MustAddTask("synth_filt")
+	pcm := g.MustAddTask("pcm_out")
+
+	g.MustAddEdge(demux, vld, 33)
+	g.MustAddEdge(vld, iq, 91)
+	g.MustAddEdge(iq, idct, 91)
+	g.MustAddEdge(idct, mc, 500)
+	g.MustAddEdge(mc, frameMem, 380)
+	g.MustAddEdge(frameMem, mc, 353)
+	g.MustAddEdge(frameMem, up, 313)
+	g.MustAddEdge(up, disp, 300)
+	g.MustAddEdge(demux, huff, 26)
+	g.MustAddEdge(huff, deq, 38)
+	g.MustAddEdge(deq, stereo, 38)
+	g.MustAddEdge(stereo, imdct, 38)
+	g.MustAddEdge(imdct, synth, 64)
+	g.MustAddEdge(synth, pcm, 64)
+	return g
+}
+
+// H263EncMP3Enc returns the combined H.263 video encoder and MP3 audio
+// encoder: 12 tasks and 12 edges (the count cited in the paper). Two
+// independent encoding pipelines with a motion-estimation feedback loop on
+// the video side.
+func H263EncMP3Enc() *Graph {
+	g := New("263enc_mp3enc")
+	// H.263 encoder chain (7 tasks).
+	camIn := g.MustAddTask("cam_in")
+	me := g.MustAddTask("motion_est")
+	dct := g.MustAddTask("dct")
+	q := g.MustAddTask("quant")
+	vlc := g.MustAddTask("vlc")
+	recon := g.MustAddTask("recon")
+	bitsV := g.MustAddTask("video_out")
+	// MP3 encoder chain (5 tasks).
+	micIn := g.MustAddTask("mic_in")
+	filtBank := g.MustAddTask("filt_bank")
+	mdct := g.MustAddTask("mdct")
+	quantH := g.MustAddTask("quant_huff")
+	bitsA := g.MustAddTask("audio_out")
+
+	g.MustAddEdge(camIn, me, 304)
+	g.MustAddEdge(me, dct, 304)
+	g.MustAddEdge(dct, q, 101)
+	g.MustAddEdge(q, vlc, 101)
+	g.MustAddEdge(vlc, bitsV, 34)
+	g.MustAddEdge(q, recon, 101)
+	g.MustAddEdge(recon, me, 304)
+	g.MustAddEdge(micIn, filtBank, 22)
+	g.MustAddEdge(filtBank, mdct, 36)
+	g.MustAddEdge(mdct, quantH, 36)
+	g.MustAddEdge(quantH, bitsA, 11)
+	// The audio stream is muxed into the combined output stream, tying
+	// the two encoder pipelines into one weakly connected graph.
+	g.MustAddEdge(bitsA, bitsV, 11)
+	return g
+}
+
+// Wavelet returns the wavelet transform application: 22 tasks. A
+// three-level 2-D discrete wavelet transform: each level applies row and
+// column filter pairs (low/high pass) with intermediate memories, and the
+// subband outputs feed a coder. Structure reconstructed with the task
+// count used in the paper.
+func Wavelet() *Graph {
+	g := New("Wavelet")
+	in := g.MustAddTask("in")
+	coder := g.MustAddTask("coder")
+	out := g.MustAddTask("out")
+
+	prev := in
+	// Three DWT levels; each level: row_lp/row_hp -> mem -> col_lp/col_hp
+	// -> subband memory. 6 tasks per level + final hookups = 18 tasks,
+	// plus in/coder/out and one control task = 22.
+	for level := 1; level <= 3; level++ {
+		rowLP := g.MustAddTask(fmt.Sprintf("row_lp_%d", level))
+		rowHP := g.MustAddTask(fmt.Sprintf("row_hp_%d", level))
+		rowMem := g.MustAddTask(fmt.Sprintf("row_mem_%d", level))
+		colLP := g.MustAddTask(fmt.Sprintf("col_lp_%d", level))
+		colHP := g.MustAddTask(fmt.Sprintf("col_hp_%d", level))
+		subMem := g.MustAddTask(fmt.Sprintf("sub_mem_%d", level))
+
+		bw := 256.0 / float64(uint(1)<<uint(level-1)) // halves per level
+		g.MustAddEdge(prev, rowLP, bw)
+		g.MustAddEdge(prev, rowHP, bw)
+		g.MustAddEdge(rowLP, rowMem, bw/2)
+		g.MustAddEdge(rowHP, rowMem, bw/2)
+		g.MustAddEdge(rowMem, colLP, bw/2)
+		g.MustAddEdge(rowMem, colHP, bw/2)
+		g.MustAddEdge(colLP, subMem, bw/4)
+		g.MustAddEdge(colHP, subMem, bw/4)
+		g.MustAddEdge(subMem, coder, bw/4)
+		prev = subMem
+	}
+	ctrl := g.MustAddTask("ctrl")
+	g.MustAddEdge(ctrl, in, 8)
+	g.MustAddEdge(coder, out, 96)
+	return g
+}

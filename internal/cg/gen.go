@@ -1,0 +1,142 @@
+package cg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides synthetic communication-graph generators in the
+// spirit of TGFF, used for stress tests, property tests and parameter
+// sweeps beyond the eight built-in applications.
+
+// Pipeline returns a linear chain of n tasks t0 -> t1 -> ... -> t(n-1)
+// with uniform bandwidth.
+func Pipeline(n int, bandwidth float64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cg: pipeline needs at least 1 task, got %d", n)
+	}
+	g := New(fmt.Sprintf("pipeline-%d", n))
+	prev := TaskID(-1)
+	for i := 0; i < n; i++ {
+		id := g.MustAddTask(fmt.Sprintf("t%d", i))
+		if prev >= 0 {
+			g.MustAddEdge(prev, id, bandwidth)
+		}
+		prev = id
+	}
+	return g, nil
+}
+
+// Star returns a hub-and-spoke graph: one central task exchanging traffic
+// with n-1 leaves in both directions, modelling a shared-memory hub like
+// the MPEG-4 SDRAM.
+func Star(n int, bandwidth float64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cg: star needs at least 2 tasks, got %d", n)
+	}
+	g := New(fmt.Sprintf("star-%d", n))
+	hub := g.MustAddTask("hub")
+	for i := 1; i < n; i++ {
+		leaf := g.MustAddTask(fmt.Sprintf("leaf%d", i))
+		g.MustAddEdge(hub, leaf, bandwidth)
+		g.MustAddEdge(leaf, hub, bandwidth)
+	}
+	return g, nil
+}
+
+// RandomConnected returns a random weakly connected graph with n tasks and
+// exactly m directed edges, m >= n-1. The first n-1 edges form a random
+// spanning arborescence-like skeleton guaranteeing weak connectivity; the
+// remainder are sampled uniformly from the free task pairs. Bandwidths are
+// uniform in [8, 512). The generator is deterministic for a given rng
+// state.
+func RandomConnected(rng *rand.Rand, n, m int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cg: random graph needs at least 2 tasks, got %d", n)
+	}
+	maxEdges := n * (n - 1)
+	if m < n-1 || m > maxEdges {
+		return nil, fmt.Errorf("cg: edge count %d out of range [%d, %d] for %d tasks", m, n-1, maxEdges, n)
+	}
+	g := New(fmt.Sprintf("random-%d-%d", n, m))
+	for i := 0; i < n; i++ {
+		g.MustAddTask(fmt.Sprintf("t%d", i))
+	}
+	bw := func() float64 { return 8 + rng.Float64()*504 }
+	// Skeleton: attach each task to a random earlier one, in a random
+	// direction, guaranteeing weak connectivity.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := TaskID(perm[i])
+		b := TaskID(perm[rng.Intn(i)])
+		if rng.Intn(2) == 0 {
+			g.MustAddEdge(a, b, bw())
+		} else {
+			g.MustAddEdge(b, a, bw())
+		}
+	}
+	for g.NumEdges() < m {
+		src := TaskID(rng.Intn(n))
+		dst := TaskID(rng.Intn(n))
+		if src == dst || g.HasEdge(src, dst) {
+			continue
+		}
+		g.MustAddEdge(src, dst, bw())
+	}
+	return g, nil
+}
+
+// LayeredDAG returns a TGFF-style layered task graph: `layers` layers of
+// `width` tasks each; every task has 1..maxFanOut edges to random tasks of
+// the next layer. Useful for studying how CG density affects the photonic
+// objectives.
+func LayeredDAG(rng *rand.Rand, layers, width, maxFanOut int, bandwidth float64) (*Graph, error) {
+	if layers < 2 || width < 1 || maxFanOut < 1 {
+		return nil, fmt.Errorf("cg: invalid layered DAG shape %dx%d fanout %d", layers, width, maxFanOut)
+	}
+	g := New(fmt.Sprintf("layered-%dx%d", layers, width))
+	ids := make([][]TaskID, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]TaskID, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.MustAddTask(fmt.Sprintf("l%dw%d", l, w))
+		}
+	}
+	for l := 0; l < layers-1; l++ {
+		for _, src := range ids[l] {
+			fan := 1 + rng.Intn(maxFanOut)
+			if fan > width {
+				fan = width
+			}
+			for _, wIdx := range rng.Perm(width)[:fan] {
+				dst := ids[l+1][wIdx]
+				if !g.HasEdge(src, dst) {
+					g.MustAddEdge(src, dst, bandwidth)
+				}
+			}
+		}
+	}
+	// Ensure every non-first-layer task has at least one producer so the
+	// graph is weakly connected.
+	for l := 1; l < layers; l++ {
+		for _, dst := range ids[l] {
+			if len(g.InEdges(dst)) == 0 {
+				src := ids[l-1][rng.Intn(width)]
+				if !g.HasEdge(src, dst) {
+					g.MustAddEdge(src, dst, bandwidth)
+				}
+			}
+		}
+	}
+	// Connect layer-0 tasks that have no consumers (can happen only for
+	// width==1 degenerate shapes, but keep the invariant for all).
+	for _, src := range ids[0] {
+		if len(g.OutEdges(src)) == 0 {
+			dst := ids[1][rng.Intn(width)]
+			if !g.HasEdge(src, dst) {
+				g.MustAddEdge(src, dst, bandwidth)
+			}
+		}
+	}
+	return g, nil
+}

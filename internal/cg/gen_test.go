@@ -1,0 +1,132 @@
+package cg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPipeline(t *testing.T) {
+	g, err := Pipeline(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 5 || g.NumEdges() != 4 {
+		t.Errorf("pipeline shape = %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if !g.WeaklyConnected() {
+		t.Error("pipeline not connected")
+	}
+	if _, err := Pipeline(0, 64); err == nil {
+		t.Error("Pipeline(0) accepted")
+	}
+	one, err := Pipeline(1, 64)
+	if err != nil || one.NumTasks() != 1 || one.NumEdges() != 0 {
+		t.Errorf("Pipeline(1) = %v, err %v", one, err)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 6 || g.NumEdges() != 10 {
+		t.Errorf("star shape = %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	hub, _ := g.TaskByName("hub")
+	if g.Degree(hub) != 10 {
+		t.Errorf("hub degree = %d, want 10", g.Degree(hub))
+	}
+	if _, err := Star(1, 32); err == nil {
+		t.Error("Star(1) accepted")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnected(rng, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 10 || g.NumEdges() != 25 {
+		t.Errorf("shape = %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !g.WeaklyConnected() {
+		t.Error("not weakly connected")
+	}
+}
+
+func TestRandomConnectedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomConnected(rng, 1, 0); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := RandomConnected(rng, 5, 3); err == nil {
+		t.Error("accepted m < n-1")
+	}
+	if _, err := RandomConnected(rng, 5, 21); err == nil {
+		t.Error("accepted m > n(n-1)")
+	}
+}
+
+// Property: RandomConnected always yields valid, weakly connected graphs
+// with the exact requested shape.
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		maxM := n * (n - 1)
+		span := maxM - (n - 1)
+		m := n - 1
+		if span > 0 {
+			m += int(mRaw) % (span + 1)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomConnected(rng, n, m)
+		if err != nil {
+			return false
+		}
+		return g.NumTasks() == n && g.NumEdges() == m &&
+			g.Validate() == nil && g.WeaklyConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	g1, _ := RandomConnected(rand.New(rand.NewSource(42)), 12, 30)
+	g2, _ := RandomConnected(rand.New(rand.NewSource(42)), 12, 30)
+	if g1.DOT() != g2.DOT() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestLayeredDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := LayeredDAG(rng, 4, 3, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 12 {
+		t.Errorf("tasks = %d, want 12", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !g.WeaklyConnected() {
+		t.Error("layered DAG not weakly connected")
+	}
+	// Every non-input task must have a producer.
+	for i := 3; i < 12; i++ {
+		if len(g.InEdges(TaskID(i))) == 0 {
+			t.Errorf("task %d has no producer", i)
+		}
+	}
+	if _, err := LayeredDAG(rng, 1, 3, 2, 100); err == nil {
+		t.Error("accepted a single-layer DAG")
+	}
+}

@@ -1,0 +1,189 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phonocmap/internal/cg"
+)
+
+func TestAppSpecBuiltin(t *testing.T) {
+	g, err := AppSpec{Builtin: "PIP"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "PIP" || g.NumTasks() != 8 {
+		t.Errorf("built %v", g)
+	}
+	if _, err := (AppSpec{Builtin: "nope"}).Build(); err == nil {
+		t.Error("accepted unknown builtin")
+	}
+	if _, err := (AppSpec{Builtin: "PIP", Name: "x"}).Build(); err == nil {
+		t.Error("accepted builtin plus custom fields")
+	}
+}
+
+func TestAppSpecCustom(t *testing.T) {
+	s := AppSpec{
+		Name:  "custom",
+		Tasks: []string{"a", "b", "c"},
+		Edges: []EdgeSpec{{Src: "a", Dst: "b", Bandwidth: 10}, {Src: "b", Dst: "c", Bandwidth: 20}},
+	}
+	g, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3 || g.NumEdges() != 2 {
+		t.Errorf("shape: %v", g)
+	}
+	bad := s
+	bad.Edges = []EdgeSpec{{Src: "a", Dst: "zzz", Bandwidth: 1}}
+	if _, err := bad.Build(); err == nil {
+		t.Error("accepted unknown edge endpoint")
+	}
+	if _, err := (AppSpec{}).Build(); err == nil {
+		t.Error("accepted empty spec")
+	}
+	dup := s
+	dup.Tasks = []string{"a", "a"}
+	if _, err := dup.Build(); err == nil {
+		t.Error("accepted duplicate tasks")
+	}
+}
+
+func TestAppSpecRoundTrip(t *testing.T) {
+	orig := cg.MustApp("VOPD")
+	spec := AppSpecOf(orig)
+	rebuilt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.DOT() != orig.DOT() {
+		t.Error("round trip altered the graph")
+	}
+}
+
+func TestArchSpecBuildMesh(t *testing.T) {
+	nw, err := DefaultArch(4, 4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumTiles() != 16 {
+		t.Errorf("tiles = %d", nw.NumTiles())
+	}
+	if nw.Router().Name() != "crux" || nw.Routing().Name() != "xy" {
+		t.Errorf("wrong components: %s", nw.String())
+	}
+}
+
+func TestArchSpecBuildVariants(t *testing.T) {
+	cases := []ArchSpec{
+		{Topology: "torus", Width: 4, Height: 4, Router: "crux", Routing: "xy", WrapCrossings: 2},
+		{Topology: "ring", Tiles: 6, Router: "crux", Routing: "bfs"},
+		{Topology: "mesh", Width: 3, Height: 3, Router: "crossbar", Routing: "yx", DieCm: 1.5},
+	}
+	for i, s := range cases {
+		if _, err := s.Build(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	bad := []ArchSpec{
+		{Topology: "hypercube", Width: 4, Height: 4, Router: "crux", Routing: "xy"},
+		{Topology: "mesh", Width: 4, Height: 4, Router: "nope", Routing: "xy"},
+		{Topology: "mesh", Width: 4, Height: 4, Router: "crux", Routing: "nope"},
+		{Topology: "mesh", Width: 0, Height: 4, Router: "crux", Routing: "xy"},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("bad case %d accepted", i)
+		}
+	}
+}
+
+func TestExperimentNormalize(t *testing.T) {
+	var e Experiment
+	e.Normalize()
+	if e.Algorithm != "rpbla" || e.Budget != 20000 || e.Seed != 1 || e.Objective != "snr" {
+		t.Errorf("defaults wrong: %+v", e)
+	}
+	e2 := Experiment{Algorithm: "ga", Budget: 5, Seed: 3, Objective: "loss"}
+	e2.Normalize()
+	if e2.Algorithm != "ga" || e2.Budget != 5 || e2.Seed != 3 || e2.Objective != "loss" {
+		t.Errorf("Normalize clobbered explicit values: %+v", e2)
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	exp := Experiment{
+		App:       AppSpec{Builtin: "MWD"},
+		Arch:      DefaultArch(4, 4),
+		Objective: "snr",
+		Algorithm: "rpbla",
+		Budget:    100,
+		Seed:      7,
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, exp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[Experiment](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App.Builtin != "MWD" || got.Budget != 100 || got.Arch.Width != 4 {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	r := strings.NewReader(`{"app":{"builtin":"PIP"},"frobnicate":true}`)
+	if _, err := Load[Experiment](r); err == nil {
+		t.Error("accepted unknown field")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	exp := Experiment{App: AppSpec{Builtin: "PIP"}, Arch: DefaultArch(3, 3), Objective: "loss"}
+	if err := SaveFile(path, exp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile[Experiment](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App.Builtin != "PIP" || got.Objective != "loss" {
+		t.Errorf("file round trip: %+v", got)
+	}
+	if _, err := LoadFile[Experiment](filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loaded a missing file")
+	}
+}
+
+func TestArchSpecParamsOverride(t *testing.T) {
+	spec := DefaultArch(3, 3)
+	params := spec.Params
+	if params != nil {
+		t.Fatal("default arch has explicit params")
+	}
+	nw, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Params().CrossingLoss != -0.04 {
+		t.Error("default params not Table I")
+	}
+	custom := nw.Params()
+	custom.CrossingLoss = -0.08
+	spec.Params = &custom
+	nw2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.Params().CrossingLoss != -0.08 {
+		t.Error("params override ignored")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RunResult records one optimization run of the DSE engine.
+type RunResult struct {
+	Algorithm string
+	Objective Objective
+	Mapping   Mapping
+	Score     Score
+	Evals     int
+	Duration  time.Duration
+	Seed      int64
+}
+
+// TracePoint is one improvement event of a run's convergence curve.
+type TracePoint struct {
+	Evals int
+	Score Score
+}
+
+// Options configures a DSE run.
+type Options struct {
+	// Budget is the evaluation budget per algorithm run; every algorithm
+	// gets the same budget, the deterministic analogue of the paper's
+	// equal running times. Required.
+	Budget int
+	// Seed derives each run's RNG (combined with the algorithm index) so
+	// whole explorations reproduce bit-for-bit. Defaults to 1.
+	Seed int64
+	// Trace, when true, records convergence curves.
+	Trace bool
+}
+
+// Exploration is the DSE engine of the paper's architecture (Figure 1,
+// box 4): it runs a set of search strategies against one problem under
+// identical budgets and collects the results.
+type Exploration struct {
+	prob    *Problem
+	opts    Options
+	results []RunResult
+	traces  map[string][]TracePoint
+}
+
+// NewExploration validates options and prepares an engine.
+func NewExploration(prob *Problem, opts Options) (*Exploration, error) {
+	if prob == nil {
+		return nil, fmt.Errorf("core: nil problem")
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("core: DSE budget must be positive, got %d", opts.Budget)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Exploration{
+		prob:   prob,
+		opts:   opts,
+		traces: make(map[string][]TracePoint),
+	}, nil
+}
+
+// Run executes one searcher and records its result. Each call derives an
+// independent RNG from the exploration seed and the run ordinal, so runs
+// are reproducible and order-independent in distribution.
+func (e *Exploration) Run(s Searcher) (RunResult, error) {
+	runIdx := len(e.results)
+	seed := e.opts.Seed*1_000_003 + int64(runIdx)*7919
+	rng := rand.New(rand.NewSource(seed))
+	ctx, err := NewContext(e.prob, rng, e.opts.Budget)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if e.opts.Trace {
+		name := s.Name()
+		ctx.OnImprove = func(evals int, sc Score) {
+			e.traces[name] = append(e.traces[name], TracePoint{Evals: evals, Score: sc})
+		}
+	}
+	start := time.Now()
+	if err := s.Search(ctx); err != nil {
+		return RunResult{}, fmt.Errorf("core: %s failed: %w", s.Name(), err)
+	}
+	best, score, ok := ctx.Best()
+	if !ok {
+		return RunResult{}, fmt.Errorf("core: %s finished without evaluating any mapping", s.Name())
+	}
+	res := RunResult{
+		Algorithm: s.Name(),
+		Objective: e.prob.Objective(),
+		Mapping:   best,
+		Score:     score,
+		Evals:     ctx.Evals(),
+		Duration:  time.Since(start),
+		Seed:      seed,
+	}
+	e.results = append(e.results, res)
+	return res, nil
+}
+
+// RunAll runs every searcher in order and returns all results.
+func (e *Exploration) RunAll(searchers []Searcher) ([]RunResult, error) {
+	for _, s := range searchers {
+		if _, err := e.Run(s); err != nil {
+			return nil, err
+		}
+	}
+	return e.Results(), nil
+}
+
+// Results returns the recorded runs in execution order.
+func (e *Exploration) Results() []RunResult {
+	out := make([]RunResult, len(e.results))
+	copy(out, e.results)
+	return out
+}
+
+// Trace returns the convergence curve of the named algorithm (only
+// populated when Options.Trace was set).
+func (e *Exploration) Trace(algorithm string) []TracePoint {
+	pts := e.traces[algorithm]
+	out := make([]TracePoint, len(pts))
+	copy(out, pts)
+	return out
+}
+
+// BestResult returns the best run recorded so far.
+func (e *Exploration) BestResult() (RunResult, bool) {
+	if len(e.results) == 0 {
+		return RunResult{}, false
+	}
+	best := e.results[0]
+	for _, r := range e.results[1:] {
+		if r.Score.Better(best.Score) {
+			best = r
+		}
+	}
+	return best, true
+}

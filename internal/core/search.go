@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Searcher is a mapping optimization algorithm. Implementations draw all
+// randomness from the context's RNG and spend evaluations through
+// Context.Evaluate, which enforces the budget and tracks the incumbent;
+// this is how the tool guarantees the paper's "same running time" fair
+// comparison (equal evaluation budgets) across algorithms.
+type Searcher interface {
+	// Name identifies the algorithm, e.g. "rs", "ga", "rpbla".
+	Name() string
+	// Search runs until the context budget is exhausted (Evaluate
+	// returns ok == false) or the algorithm converges. The incumbent is
+	// read from the context afterwards, so Search needs no return value
+	// beyond errors.
+	Search(ctx *Context) error
+}
+
+// Context carries the problem, the randomness, the evaluation budget and
+// the incumbent (best mapping found so far) through one optimization run.
+type Context struct {
+	prob      *Problem
+	rng       *rand.Rand
+	budget    int
+	evals     int
+	best      Mapping
+	bestScore Score
+	hasBest   bool
+	// OnImprove, when non-nil, is called with the evaluation count and
+	// new incumbent score each time the incumbent improves — used for
+	// convergence traces.
+	OnImprove func(evals int, s Score)
+	// OnEvaluate, when non-nil, observes every evaluation (mapping and
+	// score) regardless of improvement — used by multi-objective
+	// archives such as ParetoFront. The mapping is only valid during the
+	// callback; clone it to retain it.
+	OnEvaluate func(m Mapping, s Score)
+}
+
+// NewContext prepares an optimization run with the given evaluation
+// budget. Budgets must be positive.
+func NewContext(prob *Problem, rng *rand.Rand, budget int) (*Context, error) {
+	if prob == nil {
+		return nil, fmt.Errorf("core: nil problem")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: budget must be positive, got %d", budget)
+	}
+	return &Context{prob: prob, rng: rng, budget: budget}, nil
+}
+
+// Problem returns the problem under optimization.
+func (c *Context) Problem() *Problem { return c.prob }
+
+// Rng returns the run's random source.
+func (c *Context) Rng() *rand.Rand { return c.rng }
+
+// Budget returns the total evaluation budget.
+func (c *Context) Budget() int { return c.budget }
+
+// Evals returns the number of evaluations spent so far.
+func (c *Context) Evals() int { return c.evals }
+
+// Remaining returns the unspent budget.
+func (c *Context) Remaining() int { return c.budget - c.evals }
+
+// Exhausted reports whether the budget is spent.
+func (c *Context) Exhausted() bool { return c.evals >= c.budget }
+
+// Evaluate scores a mapping, spending one unit of budget. ok is false —
+// and the mapping is NOT evaluated — once the budget is exhausted.
+// Invalid mappings surface as errors; algorithms are expected to produce
+// only valid ones, so errors indicate bugs rather than search states.
+func (c *Context) Evaluate(m Mapping) (Score, bool, error) {
+	if c.Exhausted() {
+		return Score{}, false, nil
+	}
+	s, err := c.prob.Evaluate(m)
+	if err != nil {
+		return Score{}, false, err
+	}
+	c.evals++
+	if c.OnEvaluate != nil {
+		c.OnEvaluate(m, s)
+	}
+	if !c.hasBest || s.Better(c.bestScore) {
+		c.best = m.Clone()
+		c.bestScore = s
+		c.hasBest = true
+		if c.OnImprove != nil {
+			c.OnImprove(c.evals, s)
+		}
+	}
+	return s, true, nil
+}
+
+// WithBudgetSlice runs f under a temporarily reduced budget: at most n
+// further evaluations are allowed inside f, after which the original
+// budget is restored (already-spent evaluations still count). It lets
+// composite searchers run sub-algorithms on budget slices while sharing
+// the incumbent and the evaluation ledger.
+func (c *Context) WithBudgetSlice(n int, f func(*Context) error) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative budget slice %d", n)
+	}
+	old := c.budget
+	if limit := c.evals + n; limit < old {
+		c.budget = limit
+	}
+	err := f(c)
+	c.budget = old
+	return err
+}
+
+// Best returns the incumbent mapping and score. ok is false when nothing
+// has been evaluated yet.
+func (c *Context) Best() (Mapping, Score, bool) {
+	if !c.hasBest {
+		return nil, Score{}, false
+	}
+	return c.best.Clone(), c.bestScore, true
+}
+
+// RandomMapping draws a fresh uniform mapping for this problem.
+func (c *Context) RandomMapping() Mapping {
+	m, err := RandomMapping(c.rng, c.prob.NumTasks(), c.prob.NumTiles())
+	if err != nil {
+		// NewProblem verified Eq. 2, so this cannot fail.
+		panic("core: random mapping failed: " + err.Error())
+	}
+	return m
+}
+
+// InfCost is a sentinel cost worse than any real evaluation.
+func InfCost() Score { return Score{Cost: math.Inf(1)} }

@@ -1,0 +1,316 @@
+// Package experiments implements the paper's evaluation section (Section
+// III) as reusable drivers: the Figure 3 random-mapping distribution
+// study and the Table II algorithm comparison, plus ablations on the
+// design choices. The CLI tool cmd/phonocmap-bench and the repository's
+// benchmark suite both call into this package so that printed tables and
+// testing.B benchmarks exercise identical code.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/search"
+	"phonocmap/internal/stats"
+)
+
+// PaperApps returns the eight applications of the case studies in the
+// row order of Table II.
+func PaperApps() []string {
+	return []string{
+		"263dec_mp3dec", "263enc_mp3enc", "DVOPD", "MPEG-4",
+		"MWD", "PIP", "VOPD", "Wavelet",
+	}
+}
+
+// SquareFor returns the side of the smallest square grid that fits n
+// tasks ("each app maps onto the smallest topology", e.g. PIP on 3x3).
+func SquareFor(n int) int {
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// problemFor builds the paper's problem instance for one app: smallest
+// square mesh or torus of Crux routers with XY routing.
+func problemFor(app string, torus bool, obj core.Objective) (*core.Problem, error) {
+	g, err := cg.App(app)
+	if err != nil {
+		return nil, err
+	}
+	side := SquareFor(g.NumTasks())
+	spec := config.DefaultArch(side, side)
+	if torus {
+		spec.Topology = "torus"
+	}
+	nw, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(g, nw, obj)
+}
+
+// Fig3Result holds the random-mapping distributions of one application:
+// the empirical SNR and power-loss histograms of Figure 3 plus summary
+// statistics.
+type Fig3Result struct {
+	App         string
+	Samples     int
+	SNRHist     *stats.Histogram
+	LossHist    *stats.Histogram
+	SNRSummary  stats.Summary
+	LossSummary stats.Summary
+}
+
+// Fig3Options configures the distribution study. The zero value is
+// completed by Normalize to the paper's setup (100 000 samples) with
+// histogram ranges covering Figure 3's axes.
+type Fig3Options struct {
+	Samples int
+	Seed    int64
+	Bins    int
+	SNRLo   float64
+	SNRHi   float64
+	LossLo  float64
+	LossHi  float64
+}
+
+// Normalize fills defaults in place.
+func (o *Fig3Options) Normalize() {
+	if o.Samples == 0 {
+		o.Samples = 100_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Bins == 0 {
+		o.Bins = 60
+	}
+	if o.SNRLo == 0 && o.SNRHi == 0 {
+		o.SNRLo, o.SNRHi = 5, 45 // Figure 3a spans roughly 5..25+ dB
+	}
+	if o.LossLo == 0 && o.LossHi == 0 {
+		o.LossLo, o.LossHi = -5, 0 // Figure 3b spans roughly -4..0 dB
+	}
+}
+
+// Fig3 reproduces Figure 3 for one application: it draws random mappings
+// on the app's mesh + Crux network and accumulates the worst-case SNR and
+// power-loss distributions.
+func Fig3(app string, opts Fig3Options) (*Fig3Result, error) {
+	opts.Normalize()
+	prob, err := problemFor(app, false, core.MaximizeSNR)
+	if err != nil {
+		return nil, err
+	}
+	snrHist, err := stats.NewHistogram(opts.SNRLo, opts.SNRHi, opts.Bins)
+	if err != nil {
+		return nil, err
+	}
+	lossHist, err := stats.NewHistogram(opts.LossLo, opts.LossHi, opts.Bins)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		App:      app,
+		Samples:  opts.Samples,
+		SNRHist:  snrHist,
+		LossHist: lossHist,
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 0; i < opts.Samples; i++ {
+		m, err := core.RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+		if err != nil {
+			return nil, err
+		}
+		s, err := prob.Evaluate(m)
+		if err != nil {
+			return nil, err
+		}
+		res.SNRHist.Add(s.WorstSNRDB)
+		res.LossHist.Add(s.WorstLossDB)
+		res.SNRSummary.Add(s.WorstSNRDB)
+		res.LossSummary.Add(s.WorstLossDB)
+	}
+	return res, nil
+}
+
+// Cell is one Table II cell pair: the best worst-case SNR and the best
+// worst-case loss found by one algorithm on one topology.
+type Cell struct {
+	SNRDB  float64 // from the MaximizeSNR run
+	LossDB float64 // from the MinimizeLoss run
+	Evals  int
+}
+
+// Row is one application row of Table II: cells per algorithm for mesh
+// and torus.
+type Row struct {
+	App   string
+	Mesh  map[string]Cell
+	Torus map[string]Cell
+}
+
+// Table2Options configures the algorithm comparison.
+type Table2Options struct {
+	// Budget is the per-run evaluation budget (the equal-running-time
+	// proxy). Default 20 000.
+	Budget int
+	// Seed drives all runs reproducibly. Default 1.
+	Seed int64
+	// Algorithms defaults to the paper's rs, ga, rpbla.
+	Algorithms []string
+	// Apps defaults to the paper's eight applications.
+	Apps []string
+}
+
+// Normalize fills defaults in place.
+func (o *Table2Options) Normalize() {
+	if o.Budget == 0 {
+		o.Budget = 20_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = search.PaperNames()
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = PaperApps()
+	}
+}
+
+// Table2Row computes one application row of Table II: every algorithm on
+// mesh and torus, optimizing SNR and loss separately (as the paper's
+// per-objective columns do).
+func Table2Row(app string, opts Table2Options) (Row, error) {
+	opts.Normalize()
+	row := Row{
+		App:   app,
+		Mesh:  make(map[string]Cell),
+		Torus: make(map[string]Cell),
+	}
+	for _, torus := range []bool{false, true} {
+		cells := row.Mesh
+		if torus {
+			cells = row.Torus
+		}
+		for _, algo := range opts.Algorithms {
+			var cell Cell
+			for _, obj := range []core.Objective{core.MaximizeSNR, core.MinimizeLoss} {
+				prob, err := problemFor(app, torus, obj)
+				if err != nil {
+					return Row{}, err
+				}
+				s, err := search.New(algo)
+				if err != nil {
+					return Row{}, err
+				}
+				ex, err := core.NewExploration(prob, core.Options{Budget: opts.Budget, Seed: opts.Seed})
+				if err != nil {
+					return Row{}, err
+				}
+				res, err := ex.Run(s)
+				if err != nil {
+					return Row{}, err
+				}
+				if obj == core.MaximizeSNR {
+					cell.SNRDB = res.Score.WorstSNRDB
+				} else {
+					cell.LossDB = res.Score.WorstLossDB
+				}
+				cell.Evals = res.Evals
+			}
+			cells[algo] = cell
+		}
+	}
+	return row, nil
+}
+
+// Table2 computes the full comparison table.
+func Table2(opts Table2Options) ([]Row, error) {
+	opts.Normalize()
+	rows := make([]Row, 0, len(opts.Apps))
+	for _, app := range opts.Apps {
+		row, err := Table2Row(app, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s: %w", app, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationResult records one configuration of an ablation sweep.
+type AblationResult struct {
+	Label  string
+	SNRDB  float64
+	LossDB float64
+}
+
+// BudgetAblation measures how the R-PBLA result quality scales with the
+// evaluation budget — the knob behind the paper's "same running time"
+// protocol.
+func BudgetAblation(app string, budgets []int, seed int64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, b := range budgets {
+		prob, err := problemFor(app, false, core.MaximizeSNR)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.NewExploration(prob, core.Options{Budget: b, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ex.Run(search.NewRPBLA())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Label:  fmt.Sprintf("budget=%d", b),
+			SNRDB:  res.Score.WorstSNRDB,
+			LossDB: res.Score.WorstLossDB,
+		})
+	}
+	return out, nil
+}
+
+// RouterAblation compares the Crux router against the crossbar baseline
+// on one application with the same optimizer and budget, demonstrating
+// why router microarchitecture matters for mapping quality.
+func RouterAblation(app string, budget int, seed int64) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, routerName := range []string{"crux", "crossbar"} {
+		g, err := cg.App(app)
+		if err != nil {
+			return nil, err
+		}
+		side := SquareFor(g.NumTasks())
+		spec := config.DefaultArch(side, side)
+		spec.Router = routerName
+		nw, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		prob, err := core.NewProblem(g, nw, core.MaximizeSNR)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ex.Run(search.NewRPBLA())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Label:  routerName,
+			SNRDB:  res.Score.WorstSNRDB,
+			LossDB: res.Score.WorstLossDB,
+		})
+	}
+	return out, nil
+}

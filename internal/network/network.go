@@ -1,0 +1,232 @@
+// Package network composes a topology, an optical router architecture and
+// a routing algorithm into a concrete photonic NoC instance, and expands
+// every tile-to-tile communication into its element-level optical path:
+// the exact sequence of PSEs and crossings traversed, with ring states,
+// per-element entry losses and inter-router waveguide losses.
+//
+// These paths are the substrate of the physical-layer analysis: insertion
+// loss is the end-to-end accumulated loss, and crosstalk arises where the
+// paths of two simultaneously active communications share an element
+// (package analysis).
+package network
+
+import (
+	"fmt"
+
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/route"
+	"phonocmap/internal/router"
+	"phonocmap/internal/topo"
+)
+
+// GlobalElem uniquely identifies a photonic element instance across the
+// whole network: element e of the router at tile t has ID
+// t*arch.NumElements() + e.
+type GlobalElem int
+
+// Step is one element traversal of a network-level optical path.
+type Step struct {
+	// Node identifies the traversed element instance network-wide.
+	Node GlobalElem
+	// Tile is the tile whose router contains the element.
+	Tile topo.TileID
+	// Kind, In, Out and State describe the traversal physics; State is
+	// the ring state this path's configuration requires (victim-centric
+	// state for crosstalk analysis).
+	Kind  photonic.Kind
+	In    photonic.Port
+	Out   photonic.Port
+	State photonic.State
+	// Loss is the element's dB entry loss; LossBefore is the accumulated
+	// dB loss of everything before this element (elements and
+	// waveguides). Both are <= 0.
+	Loss       float64
+	LossBefore float64
+}
+
+// Path is the element-level optical path of one communication.
+type Path struct {
+	Src, Dst topo.TileID
+	// Steps are the router-element traversals in order. Inter-router
+	// waveguide propagation (and any layout crossings assigned to links)
+	// contributes loss between steps but no crosstalk, because link
+	// geometry is not modelled; see DESIGN.md §3.1.
+	Steps []Step
+	// TotalLoss is the end-to-end insertion loss in dB (ILdB of the
+	// paper; <= 0).
+	TotalLoss float64
+	// Hops is the number of links traversed.
+	Hops int
+}
+
+// Network is an immutable photonic NoC instance with all tile-pair paths
+// precomputed.
+type Network struct {
+	top    topo.Topology
+	arch   *router.Architecture
+	algo   route.Algorithm
+	params photonic.Params
+	paths  [][]*Path // [src][dst]; nil on the diagonal
+}
+
+// New builds the network and eagerly expands every ordered tile pair into
+// its element-level path, validating on the way that the router
+// architecture supports every turn the routing algorithm produces.
+func New(t topo.Topology, arch *router.Architecture, algo route.Algorithm, p photonic.Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(t); err != nil {
+		return nil, err
+	}
+	n := t.NumTiles()
+	nw := &Network{top: t, arch: arch, algo: algo, params: p}
+	nw.paths = make([][]*Path, n)
+	for src := 0; src < n; src++ {
+		nw.paths[src] = make([]*Path, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			path, err := nw.expand(topo.TileID(src), topo.TileID(dst))
+			if err != nil {
+				return nil, err
+			}
+			nw.paths[src][dst] = path
+		}
+	}
+	return nw, nil
+}
+
+// dirToPort maps a link direction to the router port a signal leaves
+// through.
+func dirToPort(d topo.Direction) router.Port {
+	switch d {
+	case topo.North:
+		return router.North
+	case topo.East:
+		return router.East
+	case topo.South:
+		return router.South
+	default:
+		return router.West
+	}
+}
+
+// entryPort returns the router port a signal arrives on after following a
+// link in direction d: the opposite side of the receiving router.
+func entryPort(d topo.Direction) router.Port {
+	return dirToPort(d.Opposite())
+}
+
+// expand builds the element-level path from src to dst.
+func (nw *Network) expand(src, dst topo.TileID) (*Path, error) {
+	links, err := nw.algo.Route(nw.top, src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("network: routing %d->%d: %w", src, dst, err)
+	}
+	if err := route.Check(src, dst, links); err != nil {
+		return nil, fmt.Errorf("network: %s produced a broken path: %w", nw.algo.Name(), err)
+	}
+	path := &Path{Src: src, Dst: dst, Hops: len(links)}
+	acc := 0.0
+	numElems := nw.arch.NumElements()
+
+	appendTurn := func(tile topo.TileID, in, out router.Port) error {
+		steps, ok := nw.arch.Steps(nw.params, in, out)
+		if !ok {
+			return fmt.Errorf("network: router %s at tile %d does not support turn %v->%v required by %s routing",
+				nw.arch.Name(), tile, in, out, nw.algo.Name())
+		}
+		for _, s := range steps {
+			path.Steps = append(path.Steps, Step{
+				Node:       GlobalElem(int(tile)*numElems + int(s.Elem)),
+				Tile:       tile,
+				Kind:       s.Kind,
+				In:         s.In,
+				Out:        s.Out,
+				State:      s.State,
+				Loss:       s.Loss,
+				LossBefore: acc,
+			})
+			acc += s.Loss
+		}
+		return nil
+	}
+	linkLoss := func(l topo.Link) float64 {
+		return nw.params.PropagationLoss(l.LengthCm) +
+			float64(l.Crossings)*nw.params.CrossingLoss
+	}
+
+	in := router.Local
+	for _, l := range links {
+		if err := appendTurn(l.From, in, dirToPort(l.Dir)); err != nil {
+			return nil, err
+		}
+		acc += linkLoss(l)
+		in = entryPort(l.Dir)
+	}
+	if len(links) > 0 {
+		if err := appendTurn(dst, in, router.Local); err != nil {
+			return nil, err
+		}
+	}
+	path.TotalLoss = acc
+	return path, nil
+}
+
+// NumTiles returns the tile count of the underlying topology.
+func (nw *Network) NumTiles() int { return nw.top.NumTiles() }
+
+// Topology returns the underlying topology.
+func (nw *Network) Topology() topo.Topology { return nw.top }
+
+// Router returns the router architecture.
+func (nw *Network) Router() *router.Architecture { return nw.arch }
+
+// Routing returns the routing algorithm.
+func (nw *Network) Routing() route.Algorithm { return nw.algo }
+
+// Params returns the photonic parameter set.
+func (nw *Network) Params() photonic.Params { return nw.params }
+
+// Path returns the precomputed path from src to dst. For src == dst it
+// returns an empty zero-loss path; out-of-range tiles return nil.
+func (nw *Network) Path(src, dst topo.TileID) *Path {
+	n := nw.NumTiles()
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return nil
+	}
+	if src == dst {
+		return &Path{Src: src, Dst: dst}
+	}
+	return nw.paths[src][dst]
+}
+
+// NumElements returns the total number of router element instances in the
+// network (tiles x elements per router).
+func (nw *Network) NumElements() int {
+	return nw.NumTiles() * nw.arch.NumElements()
+}
+
+// WorstPathLoss returns the largest-magnitude TotalLoss over all ordered
+// tile pairs — the loss of the network's worst physical route,
+// independent of any application mapping.
+func (nw *Network) WorstPathLoss() float64 {
+	worst := 0.0
+	for src := range nw.paths {
+		for _, p := range nw.paths[src] {
+			if p != nil && p.TotalLoss < worst {
+				worst = p.TotalLoss
+			}
+		}
+	}
+	return worst
+}
+
+// String summarizes the instance, e.g.
+// "mesh-4x4 + crux + xy (16 tiles, 272 elements)".
+func (nw *Network) String() string {
+	return fmt.Sprintf("%s + %s + %s (%d tiles, %d elements)",
+		nw.top.Name(), nw.arch.Name(), nw.algo.Name(), nw.NumTiles(), nw.NumElements())
+}

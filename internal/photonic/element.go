@@ -1,0 +1,229 @@
+package photonic
+
+import "fmt"
+
+// Kind identifies a type of photonic element that optical paths traverse.
+//
+// Plain waveguide segments are not elements: they contribute only
+// length-proportional propagation loss and are handled by the network
+// model directly via Params.PropagationLoss.
+type Kind uint8
+
+const (
+	// Crossing is a passive intersection of two waveguides (Fig. 2e).
+	// A signal continues straight with loss Lc (Eq. 1i) and leaks Kc
+	// into each of the two perpendicular output ports (Eq. 1j).
+	Crossing Kind = iota
+
+	// PPSE is a parallel photonic switching element (Fig. 2a-b): two
+	// parallel waveguides coupled by a microring. OFF: the signal stays
+	// on its waveguide (Eq. 1a) leaking Kp,off to the other (Eq. 1b).
+	// ON: the signal switches waveguide (Eq. 1c) leaking Kp,on to its
+	// original one (Eq. 1d).
+	PPSE
+
+	// CPSE is a crossing photonic switching element (Fig. 2c-d): two
+	// crossing waveguides with a microring at the intersection. OFF:
+	// straight with loss Lc,off (Eq. 1e), leaking Kp,off+Kc (Eq. 1f).
+	// ON: turned with loss Lc,on (Eq. 1g), leaking Kp,on (Eq. 1h).
+	CPSE
+)
+
+// String returns the conventional abbreviation of the element kind.
+func (k Kind) String() string {
+	switch k {
+	case Crossing:
+		return "crossing"
+	case PPSE:
+		return "ppse"
+	case CPSE:
+		return "cpse"
+	default:
+		return fmt.Sprintf("photonic.Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k names a known element kind.
+func (k Kind) Valid() bool { return k <= CPSE }
+
+// State is the resonance state of the microring of a PSE. Crossings have
+// no ring; by convention their state is Off everywhere in the code base.
+type State uint8
+
+const (
+	// Off means the ring is out of resonance: signals pass straight.
+	Off State = iota
+	// On means the ring is resonant: signals are coupled across.
+	On
+)
+
+// String returns "off" or "on".
+func (s State) String() string {
+	if s == On {
+		return "on"
+	}
+	return "off"
+}
+
+// Flip returns the opposite state.
+func (s State) Flip() State {
+	if s == On {
+		return Off
+	}
+	return On
+}
+
+// Port identifies one of the four optical ports of an element.
+//
+// For a crossing, ports A0/A1 are the two ends of one waveguide and B0/B1
+// the two ends of the perpendicular one; straight propagation is A0<->A1
+// and B0<->B1.
+//
+// For a PSE, A0/A1 are the two ends of the first waveguide (the "input"
+// waveguide of Fig. 2) and B0/B1 the two ends of the second (the "add/drop"
+// waveguide). OFF keeps signals on their own waveguide; ON exchanges them:
+// A0<->B1 and B0<->A1, matching the input->drop geometry of Fig. 2b/2d.
+type Port uint8
+
+const (
+	PortA0 Port = iota
+	PortA1
+	PortB0
+	PortB1
+	numPorts
+)
+
+// String returns the short port name used in diagnostics.
+func (p Port) String() string {
+	switch p {
+	case PortA0:
+		return "a0"
+	case PortA1:
+		return "a1"
+	case PortB0:
+		return "b0"
+	case PortB1:
+		return "b1"
+	default:
+		return fmt.Sprintf("photonic.Port(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p names one of the four ports.
+func (p Port) Valid() bool { return p < numPorts }
+
+// SameWaveguide reports whether two ports lie on the same waveguide of the
+// element (A-axis or B-axis).
+func SameWaveguide(p, q Port) bool {
+	return (p <= PortA1) == (q <= PortA1)
+}
+
+// straightOut returns the port reached by continuing on the same
+// waveguide: a0<->a1, b0<->b1.
+func straightOut(in Port) Port {
+	switch in {
+	case PortA0:
+		return PortA1
+	case PortA1:
+		return PortA0
+	case PortB0:
+		return PortB1
+	default:
+		return PortB0
+	}
+}
+
+// coupledOut returns the port reached when a resonant ring exchanges the
+// two waveguides: a0<->b1, b0<->a1.
+func coupledOut(in Port) Port {
+	switch in {
+	case PortA0:
+		return PortB1
+	case PortA1:
+		return PortB0
+	case PortB0:
+		return PortA1
+	default:
+		return PortA0
+	}
+}
+
+// Traverse returns the output port of a signal entering element kind k at
+// port in while the element is in state s. Crossings ignore the state.
+func Traverse(k Kind, s State, in Port) Port {
+	if k == Crossing || s == Off {
+		return straightOut(in)
+	}
+	return coupledOut(in)
+}
+
+// TraversalLoss returns the dB loss suffered by the signal modelled by
+// Traverse: Eqs. (1a), (1c), (1e), (1g), (1i).
+func (p Params) TraversalLoss(k Kind, s State) float64 {
+	switch k {
+	case Crossing:
+		return p.CrossingLoss
+	case PPSE:
+		if s == On {
+			return p.PPSEOnLoss
+		}
+		return p.PPSEOffLoss
+	case CPSE:
+		if s == On {
+			return p.CPSEOnLoss
+		}
+		return p.CPSEOffLoss
+	default:
+		return 0
+	}
+}
+
+// LeakCoeff returns the dB crosstalk coupling of the element's leak paths:
+// Eqs. (1b), (1d), (1f), (1h), (1j). For a CPSE in the OFF state the ring
+// leakage and the embedded crossing leakage combine (Kp,off + Kc in the
+// paper's notation; powers add, so the combination is done in the linear
+// domain).
+func (p Params) LeakCoeff(k Kind, s State) float64 {
+	switch k {
+	case Crossing:
+		return p.CrossingCrosstalk
+	case PPSE:
+		if s == On {
+			return p.PSEOnCrosstalk
+		}
+		return p.PSEOffCrosstalk
+	case CPSE:
+		if s == On {
+			return p.PSEOnCrosstalk
+		}
+		return LinearToDB(DBToLinear(p.PSEOffCrosstalk) + DBToLinear(p.CrossingCrosstalk))
+	default:
+		return 0
+	}
+}
+
+// LeakTargets appends to dst the ports into which a signal entering at in
+// leaks first-order crosstalk, given element kind k in state s, and
+// returns the extended slice.
+//
+// A crossing leaks Kc into both perpendicular output ports (Eq. 1j). A PSE
+// leaks into the single port the signal would have reached had the ring
+// been in the opposite state (Eqs. 1b, 1d, 1f, 1h).
+func LeakTargets(dst []Port, k Kind, s State, in Port) []Port {
+	if k == Crossing {
+		if in <= PortA1 {
+			return append(dst, PortB0, PortB1)
+		}
+		return append(dst, PortA0, PortA1)
+	}
+	return append(dst, Traverse(k, s.Flip(), in))
+}
+
+// LeaksInto reports whether a signal entering element kind k (state s) at
+// port aggIn injects first-order crosstalk into output port out.
+func LeaksInto(k Kind, s State, aggIn, out Port) bool {
+	if k == Crossing {
+		return !SameWaveguide(aggIn, out)
+	}
+	return Traverse(k, s.Flip(), aggIn) == out
+}

@@ -1,0 +1,266 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allPorts() []Port { return []Port{PortA0, PortA1, PortB0, PortB1} }
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Crossing: "crossing", PPSE: "ppse", CPSE: "cpse"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "photonic.Kind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for _, k := range []Kind{Crossing, PPSE, CPSE} {
+		if !k.Valid() {
+			t.Errorf("Kind %v reported invalid", k)
+		}
+	}
+	if Kind(3).Valid() {
+		t.Error("Kind(3) reported valid")
+	}
+}
+
+func TestStateFlip(t *testing.T) {
+	if On.Flip() != Off || Off.Flip() != On {
+		t.Error("State.Flip is not an involution on {On, Off}")
+	}
+	if On.String() != "on" || Off.String() != "off" {
+		t.Error("State.String mismatch")
+	}
+}
+
+func TestPortValidAndString(t *testing.T) {
+	want := map[Port]string{PortA0: "a0", PortA1: "a1", PortB0: "b0", PortB1: "b1"}
+	for p, s := range want {
+		if !p.Valid() {
+			t.Errorf("port %v reported invalid", p)
+		}
+		if p.String() != s {
+			t.Errorf("Port(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Port(4).Valid() {
+		t.Error("Port(4) reported valid")
+	}
+}
+
+func TestSameWaveguide(t *testing.T) {
+	if !SameWaveguide(PortA0, PortA1) || !SameWaveguide(PortB0, PortB1) {
+		t.Error("ports on the same waveguide not recognised")
+	}
+	if SameWaveguide(PortA0, PortB0) || SameWaveguide(PortA1, PortB1) {
+		t.Error("ports on different waveguides reported as same")
+	}
+}
+
+func TestTraverseCrossingStraight(t *testing.T) {
+	// Eq. 1i: a crossing always passes straight, regardless of state.
+	want := map[Port]Port{PortA0: PortA1, PortA1: PortA0, PortB0: PortB1, PortB1: PortB0}
+	for _, s := range []State{Off, On} {
+		for in, out := range want {
+			if got := Traverse(Crossing, s, in); got != out {
+				t.Errorf("Traverse(Crossing, %v, %v) = %v, want %v", s, in, out, got)
+			}
+		}
+	}
+}
+
+func TestTraversePSE(t *testing.T) {
+	for _, k := range []Kind{PPSE, CPSE} {
+		// OFF: stay on waveguide (Eqs. 1a, 1e).
+		if got := Traverse(k, Off, PortA0); got != PortA1 {
+			t.Errorf("Traverse(%v, Off, a0) = %v, want a1", k, got)
+		}
+		// ON: switch waveguide (Eqs. 1c, 1g).
+		if got := Traverse(k, On, PortA0); got != PortB1 {
+			t.Errorf("Traverse(%v, On, a0) = %v, want b1", k, got)
+		}
+		if got := Traverse(k, On, PortB0); got != PortA1 {
+			t.Errorf("Traverse(%v, On, b0) = %v, want a1", k, got)
+		}
+	}
+}
+
+// Property: traversal never returns the input port and always returns a
+// valid port.
+func TestTraverseNeverReflects(t *testing.T) {
+	for _, k := range []Kind{Crossing, PPSE, CPSE} {
+		for _, s := range []State{Off, On} {
+			for _, in := range allPorts() {
+				out := Traverse(k, s, in)
+				if out == in {
+					t.Errorf("Traverse(%v,%v,%v) reflected back", k, s, in)
+				}
+				if !out.Valid() {
+					t.Errorf("Traverse(%v,%v,%v) = invalid port %v", k, s, in, out)
+				}
+			}
+		}
+	}
+}
+
+// Property: traversal is an involution — going back through the element
+// returns to the original port (photonic elements are reciprocal).
+func TestTraverseInvolution(t *testing.T) {
+	for _, k := range []Kind{Crossing, PPSE, CPSE} {
+		for _, s := range []State{Off, On} {
+			for _, in := range allPorts() {
+				out := Traverse(k, s, in)
+				if back := Traverse(k, s, out); back != in {
+					t.Errorf("Traverse(%v,%v) not reciprocal: %v -> %v -> %v", k, s, in, out, back)
+				}
+			}
+		}
+	}
+}
+
+func TestTraversalLossValues(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		k    Kind
+		s    State
+		want float64
+	}{
+		{Crossing, Off, -0.04},
+		{Crossing, On, -0.04},
+		{PPSE, Off, -0.005},
+		{PPSE, On, -0.5},
+		{CPSE, Off, -0.045},
+		{CPSE, On, -0.5},
+	}
+	for _, c := range cases {
+		if got := p.TraversalLoss(c.k, c.s); got != c.want {
+			t.Errorf("TraversalLoss(%v,%v) = %v, want %v", c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLeakCoeffValues(t *testing.T) {
+	p := DefaultParams()
+	if got := p.LeakCoeff(Crossing, Off); got != -40 {
+		t.Errorf("LeakCoeff(Crossing) = %v, want -40", got)
+	}
+	if got := p.LeakCoeff(PPSE, Off); got != -20 {
+		t.Errorf("LeakCoeff(PPSE,Off) = %v, want -20", got)
+	}
+	if got := p.LeakCoeff(PPSE, On); got != -25 {
+		t.Errorf("LeakCoeff(PPSE,On) = %v, want -25", got)
+	}
+	if got := p.LeakCoeff(CPSE, On); got != -25 {
+		t.Errorf("LeakCoeff(CPSE,On) = %v, want -25", got)
+	}
+	// Eq. 1f: CPSE OFF leaks Kp,off + Kc, combined in linear power.
+	want := LinearToDB(DBToLinear(-20) + DBToLinear(-40))
+	if got := p.LeakCoeff(CPSE, Off); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LeakCoeff(CPSE,Off) = %v, want %v", got, want)
+	}
+	// The combination must be slightly stronger (less negative) than
+	// Kp,off alone.
+	if got := p.LeakCoeff(CPSE, Off); got <= -20 {
+		t.Errorf("LeakCoeff(CPSE,Off) = %v, want > -20 (power sum)", got)
+	}
+}
+
+func TestLeakTargetsCrossing(t *testing.T) {
+	// Eq. 1j: leak into both perpendicular ports.
+	got := LeakTargets(nil, Crossing, Off, PortA0)
+	if len(got) != 2 || got[0] != PortB0 || got[1] != PortB1 {
+		t.Errorf("LeakTargets(crossing from a0) = %v, want [b0 b1]", got)
+	}
+	got = LeakTargets(nil, Crossing, Off, PortB1)
+	if len(got) != 2 || got[0] != PortA0 || got[1] != PortA1 {
+		t.Errorf("LeakTargets(crossing from b1) = %v, want [a0 a1]", got)
+	}
+}
+
+func TestLeakTargetsPSE(t *testing.T) {
+	// OFF PSE leaks into the port the signal would reach if ON (Eq. 1b).
+	got := LeakTargets(nil, PPSE, Off, PortA0)
+	if len(got) != 1 || got[0] != PortB1 {
+		t.Errorf("LeakTargets(ppse off from a0) = %v, want [b1]", got)
+	}
+	// ON PSE leaks into the straight-through port (Eq. 1d).
+	got = LeakTargets(nil, CPSE, On, PortA0)
+	if len(got) != 1 || got[0] != PortA1 {
+		t.Errorf("LeakTargets(cpse on from a0) = %v, want [a1]", got)
+	}
+}
+
+// Property: leak targets never include the traversal output nor the input
+// itself — leaked power goes somewhere else by construction.
+func TestLeakTargetsDisjointFromSignal(t *testing.T) {
+	for _, k := range []Kind{Crossing, PPSE, CPSE} {
+		for _, s := range []State{Off, On} {
+			for _, in := range allPorts() {
+				out := Traverse(k, s, in)
+				for _, lt := range LeakTargets(nil, k, s, in) {
+					if lt == in {
+						t.Errorf("leak target equals input: %v %v %v", k, s, in)
+					}
+					if k != Crossing && lt == out {
+						t.Errorf("PSE leak target equals signal output: %v %v %v", k, s, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLeaksIntoMatchesLeakTargets(t *testing.T) {
+	for _, k := range []Kind{Crossing, PPSE, CPSE} {
+		for _, s := range []State{Off, On} {
+			for _, in := range allPorts() {
+				targets := LeakTargets(nil, k, s, in)
+				for _, out := range allPorts() {
+					want := false
+					for _, lt := range targets {
+						if lt == out {
+							want = true
+						}
+					}
+					if got := LeaksInto(k, s, in, out); got != want {
+						t.Errorf("LeaksInto(%v,%v,%v,%v) = %v, want %v", k, s, in, out, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property-based: for random kind/state/port combinations, the element
+// physics stays self-consistent.
+func TestElementConsistencyQuick(t *testing.T) {
+	p := DefaultParams()
+	f := func(kRaw, sRaw, inRaw uint8) bool {
+		k := Kind(kRaw % 3)
+		s := State(sRaw % 2)
+		in := Port(inRaw % 4)
+		out := Traverse(k, s, in)
+		if !out.Valid() || out == in {
+			return false
+		}
+		if p.TraversalLoss(k, s) > 0 {
+			return false
+		}
+		if p.LeakCoeff(k, s) > 0 {
+			return false
+		}
+		// Leak coupling must be much weaker than the main traversal
+		// (crosstalk coefficients are at least -20 dB here).
+		return p.LeakCoeff(k, s) <= -19
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

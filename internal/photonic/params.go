@@ -1,0 +1,135 @@
+// Package photonic models the fundamental photonic building blocks of an
+// optical network-on-chip: silicon waveguides, waveguide crossings, and
+// microring-resonator-based photonic switching elements (PSEs).
+//
+// The model follows Section II-C of Fusella & Cilardo, "PhoNoCMap: an
+// Application Mapping Tool for Photonic Networks-on-Chip" (DATE 2016),
+// which in turn simplifies the analytical model of Xie et al. (TVLSI 2013):
+//
+//   - only first-order crosstalk is considered (Ki*Kj = 0);
+//   - crosstalk entering on the add port and back-reflection are neglected;
+//   - noise suffers no loss inside the switch that generates it (Ki*Li = Ki),
+//     but it does suffer all downstream losses along the victim path.
+//
+// All coefficients are expressed in dB (losses and crosstalk couplings are
+// negative). Powers combine additively in dB along a path and linearly when
+// aggregating noise from several sources.
+package photonic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the loss and crosstalk coefficients of Table I of the paper.
+// The zero value is not useful; use DefaultParams or fill all fields.
+// All values are in dB (dB/cm for PropagationLossPerCm) and must be <= 0:
+// a coefficient of -3 dB means the power is halved.
+type Params struct {
+	// CrossingLoss is Lc, the power loss of a signal passing straight
+	// through a waveguide crossing. Table I: -0.04 dB [Ding 2010].
+	CrossingLoss float64
+
+	// PropagationLossPerCm is Lp, the power lost per centimetre of
+	// silicon waveguide. Table I: -0.274 dB/cm [Dong 2010].
+	PropagationLossPerCm float64
+
+	// PPSEOffLoss is Lp,off, the loss of a parallel PSE in the OFF state
+	// (signal continues on its own waveguide). Table I: -0.005 dB [Chan 2011].
+	PPSEOffLoss float64
+
+	// PPSEOnLoss is Lp,on, the loss of a parallel PSE in the ON state
+	// (signal coupled into the ring and dropped). Table I: -0.5 dB [Chan 2011].
+	PPSEOnLoss float64
+
+	// CPSEOffLoss is Lc,off, the loss of a crossing PSE in the OFF state.
+	// Table I: -0.045 dB (crossing loss plus ring proximity).
+	CPSEOffLoss float64
+
+	// CPSEOnLoss is Lc,on, the loss of a crossing PSE in the ON state.
+	// Table I: -0.5 dB [Lee 2008].
+	CPSEOnLoss float64
+
+	// CrossingCrosstalk is Kc, the fraction of power leaking into each
+	// perpendicular output of a waveguide crossing. Table I: -40 dB [Ding 2010].
+	CrossingCrosstalk float64
+
+	// PSEOffCrosstalk is Kp,off, the ring leakage of a PSE in the OFF
+	// state. Table I: -20 dB [Chan 2011].
+	PSEOffCrosstalk float64
+
+	// PSEOnCrosstalk is Kp,on, the ring leakage of a PSE in the ON state.
+	// Table I: -25 dB [Chan 2011].
+	PSEOnCrosstalk float64
+}
+
+// DefaultParams returns the coefficients of Table I of the paper.
+func DefaultParams() Params {
+	return Params{
+		CrossingLoss:         -0.04,
+		PropagationLossPerCm: -0.274,
+		PPSEOffLoss:          -0.005,
+		PPSEOnLoss:           -0.5,
+		CPSEOffLoss:          -0.045,
+		CPSEOnLoss:           -0.5,
+		CrossingCrosstalk:    -40,
+		PSEOffCrosstalk:      -20,
+		PSEOnCrosstalk:       -25,
+	}
+}
+
+// Validate reports whether every coefficient is a non-positive, finite
+// number. Positive "losses" would amplify signals and indicate a sign
+// mistake in a user-supplied parameter set.
+func (p Params) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"CrossingLoss", p.CrossingLoss},
+		{"PropagationLossPerCm", p.PropagationLossPerCm},
+		{"PPSEOffLoss", p.PPSEOffLoss},
+		{"PPSEOnLoss", p.PPSEOnLoss},
+		{"CPSEOffLoss", p.CPSEOffLoss},
+		{"CPSEOnLoss", p.CPSEOnLoss},
+		{"CrossingCrosstalk", p.CrossingCrosstalk},
+		{"PSEOffCrosstalk", p.PSEOffCrosstalk},
+		{"PSEOnCrosstalk", p.PSEOnCrosstalk},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("photonic: parameter %s is not finite: %v", c.name, c.v)
+		}
+		if c.v > 0 {
+			return fmt.Errorf("photonic: parameter %s must be <= 0 dB, got %v", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// ErrNotFinite is returned by conversion helpers when a value cannot be
+// represented (for example the dB value of zero power).
+var ErrNotFinite = errors.New("photonic: value is not finite")
+
+// DBToLinear converts a power ratio expressed in dB to a linear factor.
+// DBToLinear(-3) is approximately 0.501; DBToLinear(0) is exactly 1.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to dB. The ratio must be
+// strictly positive; zero maps to -Inf which callers usually must guard.
+func LinearToDB(lin float64) float64 {
+	return 10 * math.Log10(lin)
+}
+
+// PropagationLoss returns the dB loss of a waveguide of the given length
+// in centimetres. Negative lengths are invalid and reported as NaN so that
+// downstream validation catches them.
+func (p Params) PropagationLoss(lengthCm float64) float64 {
+	if lengthCm < 0 {
+		return math.NaN()
+	}
+	return p.PropagationLossPerCm * lengthCm
+}

@@ -1,0 +1,160 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsMatchTableI(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"CrossingLoss", p.CrossingLoss, -0.04},
+		{"PropagationLossPerCm", p.PropagationLossPerCm, -0.274},
+		{"PPSEOffLoss", p.PPSEOffLoss, -0.005},
+		{"PPSEOnLoss", p.PPSEOnLoss, -0.5},
+		{"CPSEOffLoss", p.CPSEOffLoss, -0.045},
+		{"CPSEOnLoss", p.CPSEOnLoss, -0.5},
+		{"CrossingCrosstalk", p.CrossingCrosstalk, -40},
+		{"PSEOffCrosstalk", p.PSEOffCrosstalk, -20},
+		{"PSEOnCrosstalk", p.PSEOnCrosstalk, -25},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams().Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsPositive(t *testing.T) {
+	p := DefaultParams()
+	p.CrossingLoss = 0.04
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted a positive loss coefficient")
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	p := DefaultParams()
+	p.PSEOnCrosstalk = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted a NaN coefficient")
+	}
+}
+
+func TestValidateRejectsInf(t *testing.T) {
+	p := DefaultParams()
+	p.PropagationLossPerCm = math.Inf(-1)
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted an infinite coefficient")
+	}
+}
+
+func TestValidateAcceptsZero(t *testing.T) {
+	var p Params // all zeros: lossless, no crosstalk — valid if unusual
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate rejected all-zero params: %v", err)
+	}
+}
+
+func TestDBToLinearKnownValues(t *testing.T) {
+	cases := []struct {
+		db   float64
+		want float64
+	}{
+		{0, 1},
+		{-10, 0.1},
+		{-20, 0.01},
+		{-40, 0.0001},
+		{10, 10},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.want)
+		}
+	}
+}
+
+func TestLinearToDBKnownValues(t *testing.T) {
+	if got := LinearToDB(1); got != 0 {
+		t.Errorf("LinearToDB(1) = %v, want 0", got)
+	}
+	if got := LinearToDB(0.5); math.Abs(got-(-3.0102999566398)) > 1e-9 {
+		t.Errorf("LinearToDB(0.5) = %v, want about -3.0103", got)
+	}
+}
+
+// Property: LinearToDB(DBToLinear(x)) == x for any reasonable dB value.
+func TestDBLinearRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		db := math.Mod(x, 100) // keep within a numerically sane range
+		if math.IsNaN(db) {
+			return true
+		}
+		back := LinearToDB(DBToLinear(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DBToLinear is monotonically increasing.
+func TestDBToLinearMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return DBToLinear(a) <= DBToLinear(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagationLoss(t *testing.T) {
+	p := DefaultParams()
+	if got := p.PropagationLoss(1); got != -0.274 {
+		t.Errorf("PropagationLoss(1cm) = %v, want -0.274", got)
+	}
+	if got := p.PropagationLoss(0); got != 0 {
+		t.Errorf("PropagationLoss(0) = %v, want 0", got)
+	}
+	if got := p.PropagationLoss(2.5); math.Abs(got-(-0.685)) > 1e-12 {
+		t.Errorf("PropagationLoss(2.5cm) = %v, want -0.685", got)
+	}
+	if got := p.PropagationLoss(-1); !math.IsNaN(got) {
+		t.Errorf("PropagationLoss(-1) = %v, want NaN", got)
+	}
+}
+
+// Property: propagation loss is additive in length.
+func TestPropagationLossAdditive(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 10)), math.Abs(math.Mod(b, 10))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		sum := p.PropagationLoss(a) + p.PropagationLoss(b)
+		return math.Abs(sum-p.PropagationLoss(a+b)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package power implements the optical power budget analysis that
+// motivates PhoNoCMap (Section I of the paper): the power injected into
+// the chip must exceed the photodetector sensitivity plus the worst-case
+// insertion loss, yet the total power in a waveguide cannot exceed the
+// silicon nonlinearity threshold — and multiwavelength (WDM) signalling
+// tightens the budget further because every channel pays the loss while
+// all channels share the nonlinearity ceiling.
+//
+// Combining this budget with the worst-case loss of a mapping yields the
+// required laser power of a design point and the largest network a
+// technology can scale to — the "improved network scalability" the
+// paper's optimized mappings buy.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Budget holds the technology constants of the power analysis. All power
+// levels are in dBm.
+type Budget struct {
+	// DetectorSensitivityDBm is the minimum optical power a
+	// photodetector needs for the target bit error rate. Typical
+	// chip-scale receivers: around -20 dBm.
+	DetectorSensitivityDBm float64
+	// NonlinearityLimitDBm is the maximum total optical power a silicon
+	// waveguide carries before two-photon absorption and related
+	// nonlinearities degrade the signal. Commonly taken around +20 dBm.
+	NonlinearityLimitDBm float64
+	// SNRMarginDB is an additional margin demanded on top of the
+	// sensitivity to absorb crosstalk noise and implementation penalties.
+	SNRMarginDB float64
+	// Wavelengths is the number of WDM channels sharing each waveguide
+	// (>= 1). Every channel needs the per-channel budget; the aggregate
+	// of all channels must stay below the nonlinearity limit.
+	Wavelengths int
+}
+
+// DefaultBudget returns a representative chip-scale technology point:
+// -20 dBm sensitivity, +20 dBm nonlinearity ceiling, 0 dB margin, single
+// wavelength.
+func DefaultBudget() Budget {
+	return Budget{
+		DetectorSensitivityDBm: -20,
+		NonlinearityLimitDBm:   20,
+		SNRMarginDB:            0,
+		Wavelengths:            1,
+	}
+}
+
+// Validate checks the budget for physical consistency.
+func (b Budget) Validate() error {
+	if b.Wavelengths < 1 {
+		return fmt.Errorf("power: wavelengths must be >= 1, got %d", b.Wavelengths)
+	}
+	if b.SNRMarginDB < 0 {
+		return fmt.Errorf("power: SNR margin must be >= 0 dB, got %v", b.SNRMarginDB)
+	}
+	if b.NonlinearityLimitDBm <= b.DetectorSensitivityDBm {
+		return fmt.Errorf("power: nonlinearity limit %v dBm not above sensitivity %v dBm",
+			b.NonlinearityLimitDBm, b.DetectorSensitivityDBm)
+	}
+	for _, v := range []float64{b.DetectorSensitivityDBm, b.NonlinearityLimitDBm, b.SNRMarginDB} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("power: non-finite budget value")
+		}
+	}
+	return nil
+}
+
+// RequiredChannelPowerDBm returns the per-wavelength laser power needed
+// to deliver the detector sensitivity (plus margin) across the given
+// worst-case insertion loss (dB, <= 0).
+func (b Budget) RequiredChannelPowerDBm(worstLossDB float64) float64 {
+	return b.DetectorSensitivityDBm + b.SNRMarginDB - worstLossDB
+}
+
+// TotalInjectedPowerDBm returns the aggregate power of all WDM channels
+// at the injection point: the per-channel requirement plus 10*log10(W).
+func (b Budget) TotalInjectedPowerDBm(worstLossDB float64) float64 {
+	return b.RequiredChannelPowerDBm(worstLossDB) + 10*math.Log10(float64(b.Wavelengths))
+}
+
+// HeadroomDB returns the slack between the nonlinearity ceiling and the
+// total injected power; negative headroom means the design point is
+// infeasible.
+func (b Budget) HeadroomDB(worstLossDB float64) float64 {
+	return b.NonlinearityLimitDBm - b.TotalInjectedPowerDBm(worstLossDB)
+}
+
+// Feasible reports whether the worst-case loss fits the budget.
+func (b Budget) Feasible(worstLossDB float64) bool {
+	return b.HeadroomDB(worstLossDB) >= 0
+}
+
+// MaxTolerableLossDB returns the largest loss magnitude (as a negative
+// dB figure) the budget accommodates: the scalability wall. Mappings and
+// architectures whose worst-case loss is below this value cannot be
+// operated at the target error rate.
+func (b Budget) MaxTolerableLossDB() float64 {
+	return -(b.NonlinearityLimitDBm - b.DetectorSensitivityDBm - b.SNRMarginDB -
+		10*math.Log10(float64(b.Wavelengths)))
+}
+
+// BERFromSNR estimates the bit error rate of on-off-keyed detection with
+// crosstalk-dominated noise, using the standard Gaussian approximation
+// Q = sqrt(SNR_linear), BER = erfc(Q/sqrt(2))/2 — the conversion used by
+// the Crux router's original analysis (Xie et al., DAC 2010). An
+// infinite SNR maps to BER 0.
+func BERFromSNR(snrDB float64) float64 {
+	if math.IsInf(snrDB, 1) {
+		return 0
+	}
+	if math.IsInf(snrDB, -1) {
+		return 0.5
+	}
+	q := math.Sqrt(math.Pow(10, snrDB/10))
+	return 0.5 * math.Erfc(q/math.Sqrt2)
+}
+
+// SNRForBER inverts BERFromSNR numerically: the minimum SNR (dB) needed
+// for the target bit error rate. Targets of 0.5 and above need no signal
+// at all and map to -Inf; non-positive targets map to +Inf.
+func SNRForBER(targetBER float64) float64 {
+	if targetBER <= 0 {
+		return math.Inf(1)
+	}
+	if targetBER >= 0.5 {
+		return math.Inf(-1)
+	}
+	lo, hi := -10.0, 60.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if BERFromSNR(mid) > targetBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Report is the power feasibility assessment of one design point
+// (a mapping's worst-case loss and SNR under a budget).
+type Report struct {
+	WorstLossDB          float64
+	WorstSNRDB           float64
+	ChannelPowerDBm      float64
+	TotalInjectedDBm     float64
+	HeadroomDB           float64
+	Feasible             bool
+	EstimatedBER         float64
+	MaxTolerableLossDB   float64
+	WavelengthsSupported int // channels that still fit the ceiling at this loss
+}
+
+// Assess builds the feasibility report of a design point.
+func (b Budget) Assess(worstLossDB, worstSNRDB float64) (Report, error) {
+	if err := b.Validate(); err != nil {
+		return Report{}, err
+	}
+	if worstLossDB > 0 || math.IsNaN(worstLossDB) {
+		return Report{}, fmt.Errorf("power: worst-case loss must be <= 0 dB, got %v", worstLossDB)
+	}
+	perChannel := b.RequiredChannelPowerDBm(worstLossDB)
+	headroomForChannels := b.NonlinearityLimitDBm - perChannel
+	supported := 0
+	if headroomForChannels >= 0 {
+		supported = int(math.Floor(math.Pow(10, headroomForChannels/10)))
+	}
+	return Report{
+		WorstLossDB:          worstLossDB,
+		WorstSNRDB:           worstSNRDB,
+		ChannelPowerDBm:      perChannel,
+		TotalInjectedDBm:     b.TotalInjectedPowerDBm(worstLossDB),
+		HeadroomDB:           b.HeadroomDB(worstLossDB),
+		Feasible:             b.Feasible(worstLossDB),
+		EstimatedBER:         BERFromSNR(worstSNRDB),
+		MaxTolerableLossDB:   b.MaxTolerableLossDB(),
+		WavelengthsSupported: supported,
+	}, nil
+}
+
+// String renders a compact human-readable report.
+func (r Report) String() string {
+	status := "FEASIBLE"
+	if !r.Feasible {
+		status = "INFEASIBLE"
+	}
+	return fmt.Sprintf(
+		"%s: loss %.2f dB -> channel %.2f dBm, total %.2f dBm, headroom %.2f dB; "+
+			"SNR %.2f dB -> BER %.2e; max %d wavelength(s)",
+		status, r.WorstLossDB, r.ChannelPowerDBm, r.TotalInjectedDBm, r.HeadroomDB,
+		r.WorstSNRDB, r.EstimatedBER, r.WavelengthsSupported)
+}

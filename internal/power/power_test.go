@@ -1,0 +1,208 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultBudgetValid(t *testing.T) {
+	if err := DefaultBudget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Budget)
+	}{
+		{"zero wavelengths", func(b *Budget) { b.Wavelengths = 0 }},
+		{"negative margin", func(b *Budget) { b.SNRMarginDB = -1 }},
+		{"ceiling below sensitivity", func(b *Budget) { b.NonlinearityLimitDBm = -30 }},
+		{"nan", func(b *Budget) { b.DetectorSensitivityDBm = math.NaN() }},
+	}
+	for _, c := range cases {
+		b := DefaultBudget()
+		c.mut(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestRequiredChannelPower(t *testing.T) {
+	b := DefaultBudget()
+	// -20 dBm sensitivity and 3 dB loss: need -17 dBm at the laser.
+	if got := b.RequiredChannelPowerDBm(-3); got != -17 {
+		t.Errorf("RequiredChannelPowerDBm(-3) = %v, want -17", got)
+	}
+	b.SNRMarginDB = 5
+	if got := b.RequiredChannelPowerDBm(-3); got != -12 {
+		t.Errorf("with margin: %v, want -12", got)
+	}
+}
+
+func TestTotalInjectedWDM(t *testing.T) {
+	b := DefaultBudget()
+	b.Wavelengths = 10
+	// Ten channels add exactly 10 dB over one channel.
+	one := b.RequiredChannelPowerDBm(-2)
+	if got := b.TotalInjectedPowerDBm(-2); math.Abs(got-(one+10)) > 1e-12 {
+		t.Errorf("TotalInjectedPowerDBm = %v, want %v", got, one+10)
+	}
+}
+
+func TestFeasibilityBoundary(t *testing.T) {
+	b := DefaultBudget()
+	// Budget window: 20 - (-20) = 40 dB of tolerable loss.
+	if got := b.MaxTolerableLossDB(); got != -40 {
+		t.Errorf("MaxTolerableLossDB = %v, want -40", got)
+	}
+	if !b.Feasible(-39.9) {
+		t.Error("loss within the window reported infeasible")
+	}
+	if b.Feasible(-40.1) {
+		t.Error("loss beyond the window reported feasible")
+	}
+	if h := b.HeadroomDB(-40); math.Abs(h) > 1e-12 {
+		t.Errorf("headroom at the wall = %v, want 0", h)
+	}
+}
+
+func TestWDMTightensTheWall(t *testing.T) {
+	single := DefaultBudget()
+	wdm := DefaultBudget()
+	wdm.Wavelengths = 16
+	// 16 channels cost 10*log10(16) ~ 12.04 dB of the window.
+	if got := single.MaxTolerableLossDB() - wdm.MaxTolerableLossDB(); math.Abs(got+10*math.Log10(16)) > 1e-9 {
+		t.Errorf("WDM wall shift = %v, want %v", got, -10*math.Log10(16))
+	}
+}
+
+func TestBERFromSNR(t *testing.T) {
+	if got := BERFromSNR(math.Inf(1)); got != 0 {
+		t.Errorf("BER(+Inf) = %v", got)
+	}
+	if got := BERFromSNR(math.Inf(-1)); got != 0.5 {
+		t.Errorf("BER(-Inf) = %v", got)
+	}
+	// Q = sqrt(10^(20/10)) = 10 -> BER ~ 7.6e-24.
+	if got := BERFromSNR(20); got > 1e-22 || got <= 0 {
+		t.Errorf("BER(20 dB) = %v, want ~7.6e-24", got)
+	}
+	// Monotone non-increasing in SNR, strictly decreasing until the BER
+	// underflows float64 (around 33 dB).
+	prev := 1.0
+	for snr := -5.0; snr <= 40; snr += 5 {
+		ber := BERFromSNR(snr)
+		if ber > prev || (ber >= prev && prev > 0) {
+			t.Errorf("BER not decreasing at %v dB: %v >= %v", snr, ber, prev)
+		}
+		prev = ber
+	}
+}
+
+func TestSNRForBERInvertsBER(t *testing.T) {
+	for _, target := range []float64{1e-3, 1e-9, 1e-12, 1e-15} {
+		snr := SNRForBER(target)
+		back := BERFromSNR(snr)
+		// Inversion to within a tight relative factor.
+		if back > target*1.02 || back < target*0.98 {
+			t.Errorf("SNRForBER(%v) = %v dB, BER back = %v", target, snr, back)
+		}
+	}
+	if !math.IsInf(SNRForBER(0), 1) {
+		t.Error("SNRForBER(0) should be +Inf")
+	}
+	if !math.IsInf(SNRForBER(0.7), -1) {
+		t.Error("SNRForBER(0.7) should be -Inf")
+	}
+}
+
+// Property: round trip SNR -> BER -> SNR is stable in the invertible
+// region.
+func TestSNRBERRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		snr := 5 + float64(raw%25) // 5..29 dB
+		ber := BERFromSNR(snr)
+		if ber <= 0 { // beyond float precision; skip
+			return true
+		}
+		back := SNRForBER(ber)
+		return math.Abs(back-snr) < 0.05
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssessReport(t *testing.T) {
+	b := DefaultBudget()
+	rep, err := b.Assess(-3.5, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Error("3.5 dB loss infeasible under a 40 dB window")
+	}
+	if rep.ChannelPowerDBm != -16.5 {
+		t.Errorf("ChannelPowerDBm = %v, want -16.5", rep.ChannelPowerDBm)
+	}
+	if rep.WavelengthsSupported < 1000 {
+		t.Errorf("WavelengthsSupported = %d, expected thousands at 3.5 dB loss", rep.WavelengthsSupported)
+	}
+	if rep.EstimatedBER <= 0 || rep.EstimatedBER > 1e-20 {
+		t.Errorf("EstimatedBER = %v", rep.EstimatedBER)
+	}
+	if !strings.HasPrefix(rep.String(), "FEASIBLE") {
+		t.Errorf("String = %q", rep.String())
+	}
+
+	// Infeasible point.
+	rep2, err := b.Assess(-45, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Feasible || rep2.WavelengthsSupported != 0 {
+		t.Errorf("45 dB loss should be infeasible: %+v", rep2)
+	}
+	if !strings.HasPrefix(rep2.String(), "INFEASIBLE") {
+		t.Errorf("String = %q", rep2.String())
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	b := DefaultBudget()
+	if _, err := b.Assess(1, 20); err == nil {
+		t.Error("accepted positive loss")
+	}
+	if _, err := b.Assess(math.NaN(), 20); err == nil {
+		t.Error("accepted NaN loss")
+	}
+	bad := b
+	bad.Wavelengths = 0
+	if _, err := bad.Assess(-3, 20); err == nil {
+		t.Error("accepted invalid budget")
+	}
+}
+
+// Property: headroom decreases monotonically as loss magnitude grows.
+func TestHeadroomMonotone(t *testing.T) {
+	b := DefaultBudget()
+	f := func(x, y float64) bool {
+		lx := -math.Abs(math.Mod(x, 50))
+		ly := -math.Abs(math.Mod(y, 50))
+		if math.IsNaN(lx) || math.IsNaN(ly) {
+			return true
+		}
+		if lx < ly { // lx lossier
+			return b.HeadroomDB(lx) <= b.HeadroomDB(ly)+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package robust quantifies how sensitive a mapping's worst-case metrics
+// are to physical parameter variation and to link failures — the two
+// practical perturbations a fabricated photonic NoC faces (thermal drift
+// and process variation move the Table I coefficients; a broken
+// waveguide removes a link).
+//
+// PhoNoCMap's analysis is deterministic for fixed coefficients; this
+// package is the extension that tells a designer whether an optimized
+// mapping's margin survives reality.
+package robust
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/route"
+	"phonocmap/internal/router"
+	"phonocmap/internal/stats"
+	"phonocmap/internal/topo"
+)
+
+// VariationResult summarizes the Monte Carlo study of one mapping under
+// coefficient variation.
+type VariationResult struct {
+	Samples int
+	// Loss and SNR statistics over the perturbed parameter sets.
+	Loss stats.Summary
+	SNR  stats.Summary
+	// WorstLossDB / WorstSNRDB are the most pessimistic draws — the
+	// values a conservative designer budgets for.
+	WorstLossDB float64
+	WorstSNRDB  float64
+}
+
+// Variation runs a Monte Carlo study: it perturbs every Table I
+// coefficient independently by a uniform relative factor in
+// [-tolerance, +tolerance] (in dB magnitude), rebuilds the network, and
+// re-evaluates the mapping. Typical tolerances: 0.1 to 0.3 (10–30 %
+// coefficient uncertainty).
+func Variation(
+	t topo.Topology,
+	arch *router.Architecture,
+	algo route.Algorithm,
+	base photonic.Params,
+	app *cg.Graph,
+	m core.Mapping,
+	samples int,
+	tolerance float64,
+	seed int64,
+) (VariationResult, error) {
+	if samples < 1 {
+		return VariationResult{}, fmt.Errorf("robust: need at least 1 sample, got %d", samples)
+	}
+	if tolerance < 0 || tolerance >= 1 {
+		return VariationResult{}, fmt.Errorf("robust: tolerance %v out of [0, 1)", tolerance)
+	}
+	if err := base.Validate(); err != nil {
+		return VariationResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := VariationResult{
+		Samples:     samples,
+		WorstLossDB: 0,
+		WorstSNRDB:  math.Inf(1),
+	}
+	for i := 0; i < samples; i++ {
+		p := perturb(rng, base, tolerance)
+		nw, err := network.New(t, arch, algo, p)
+		if err != nil {
+			return VariationResult{}, fmt.Errorf("robust: sample %d: %w", i, err)
+		}
+		prob, err := core.NewProblem(app, nw, core.MaximizeSNR)
+		if err != nil {
+			return VariationResult{}, err
+		}
+		s, err := prob.Evaluate(m)
+		if err != nil {
+			return VariationResult{}, err
+		}
+		res.Loss.Add(s.WorstLossDB)
+		res.SNR.Add(s.WorstSNRDB)
+		if s.WorstLossDB < res.WorstLossDB {
+			res.WorstLossDB = s.WorstLossDB
+		}
+		if s.WorstSNRDB < res.WorstSNRDB {
+			res.WorstSNRDB = s.WorstSNRDB
+		}
+	}
+	return res, nil
+}
+
+// perturb scales every coefficient by an independent factor in
+// [1-tol, 1+tol]. Coefficients are negative dB values, so scaling the
+// magnitude keeps them valid.
+func perturb(rng *rand.Rand, p photonic.Params, tol float64) photonic.Params {
+	f := func(v float64) float64 {
+		return v * (1 + tol*(2*rng.Float64()-1))
+	}
+	return photonic.Params{
+		CrossingLoss:         f(p.CrossingLoss),
+		PropagationLossPerCm: f(p.PropagationLossPerCm),
+		PPSEOffLoss:          f(p.PPSEOffLoss),
+		PPSEOnLoss:           f(p.PPSEOnLoss),
+		CPSEOffLoss:          f(p.CPSEOffLoss),
+		CPSEOnLoss:           f(p.CPSEOnLoss),
+		CrossingCrosstalk:    f(p.CrossingCrosstalk),
+		PSEOffCrosstalk:      f(p.PSEOffCrosstalk),
+		PSEOnCrosstalk:       f(p.PSEOnCrosstalk),
+	}
+}
+
+// FailureResult records the impact of one link-failure scenario.
+type FailureResult struct {
+	Failed      [2]topo.TileID
+	WorstLossDB float64
+	WorstSNRDB  float64
+	// Unreachable is true when the failure disconnects some mapped
+	// communication entirely (no detour exists).
+	Unreachable bool
+}
+
+// LinkFailures evaluates the mapping under every single-link full cut
+// (both lanes of each undirected link failed, one at a time), rerouting
+// with BFS. The router architecture must support the turns BFS produces;
+// all-turn routers (cygnus, crossbar) qualify, Crux does not.
+func LinkFailures(
+	t topo.Topology,
+	arch *router.Architecture,
+	base photonic.Params,
+	app *cg.Graph,
+	m core.Mapping,
+) ([]FailureResult, error) {
+	if err := router.CheckTurns(arch, router.RequiredTurnsAll()); err != nil {
+		return nil, fmt.Errorf("robust: link-failure analysis needs an all-turn router: %w", err)
+	}
+	seen := make(map[[2]topo.TileID]bool)
+	var results []FailureResult
+	for _, l := range t.Links() {
+		key := [2]topo.TileID{l.From, l.To}
+		if l.To < l.From {
+			key = [2]topo.TileID{l.To, l.From}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		fr := FailureResult{Failed: key}
+		deg, err := topo.Degrade(t, [][2]topo.TileID{{key[0], key[1]}, {key[1], key[0]}})
+		if err != nil {
+			// The cut isolates a tile: every mapping is unreachable.
+			fr.Unreachable = true
+			results = append(results, fr)
+			continue
+		}
+		nw, err := network.New(deg, arch, route.BFS{}, base)
+		if err != nil {
+			fr.Unreachable = true
+			results = append(results, fr)
+			continue
+		}
+		prob, err := core.NewProblem(app, nw, core.MaximizeSNR)
+		if err != nil {
+			return nil, err
+		}
+		s, err := prob.Evaluate(m)
+		if err != nil {
+			return nil, err
+		}
+		fr.WorstLossDB = s.WorstLossDB
+		fr.WorstSNRDB = s.WorstSNRDB
+		results = append(results, fr)
+	}
+	return results, nil
+}

@@ -1,0 +1,314 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phonocmap/internal/topo"
+)
+
+func mesh4(t *testing.T) *topo.Grid {
+	t.Helper()
+	g, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func torus4(t *testing.T) *topo.Grid {
+	t.Helper()
+	g, err := topo.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pathDirs(path []topo.Link) []topo.Direction {
+	dirs := make([]topo.Direction, len(path))
+	for i, l := range path {
+		dirs[i] = l.Dir
+	}
+	return dirs
+}
+
+func TestXYOnMesh(t *testing.T) {
+	g := mesh4(t)
+	src, _ := g.TileAt(0, 0)
+	dst, _ := g.TileAt(2, 3)
+	path, err := XY{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(src, dst, path); err != nil {
+		t.Fatal(err)
+	}
+	want := []topo.Direction{topo.East, topo.East, topo.South, topo.South, topo.South}
+	got := pathDirs(path)
+	if len(got) != len(want) {
+		t.Fatalf("path dirs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hop %d dir %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestYXOnMesh(t *testing.T) {
+	g := mesh4(t)
+	src, _ := g.TileAt(0, 0)
+	dst, _ := g.TileAt(2, 3)
+	path, err := YX{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(src, dst, path); err != nil {
+		t.Fatal(err)
+	}
+	got := pathDirs(path)
+	want := []topo.Direction{topo.South, topo.South, topo.South, topo.East, topo.East}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hop %d dir %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestXYSameTile(t *testing.T) {
+	g := mesh4(t)
+	path, err := XY{}.Route(g, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 0 {
+		t.Errorf("self route has %d hops", len(path))
+	}
+}
+
+func TestXYWestNorth(t *testing.T) {
+	g := mesh4(t)
+	src, _ := g.TileAt(3, 3)
+	dst, _ := g.TileAt(1, 0)
+	path, err := XY{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pathDirs(path)
+	want := []topo.Direction{topo.West, topo.West, topo.North, topo.North, topo.North}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hop %d dir %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestXYOutOfRange(t *testing.T) {
+	g := mesh4(t)
+	if _, err := (XY{}).Route(g, -1, 3); err == nil {
+		t.Error("accepted negative src")
+	}
+	if _, err := (XY{}).Route(g, 0, 16); err == nil {
+		t.Error("accepted out-of-range dst")
+	}
+}
+
+func TestXYRejectsNonGrid(t *testing.T) {
+	r, _ := topo.NewRing(6)
+	if _, err := (XY{}).Route(r, 0, 3); err == nil {
+		t.Error("XY accepted a ring topology")
+	}
+	if _, err := (YX{}).Route(r, 0, 3); err == nil {
+		t.Error("YX accepted a ring topology")
+	}
+}
+
+func TestXYTorusWraparound(t *testing.T) {
+	g := torus4(t)
+	// (0,0) -> (3,0): wrapping west (1 hop) beats going east (3 hops).
+	src, _ := g.TileAt(0, 0)
+	dst, _ := g.TileAt(3, 0)
+	path, err := XY{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Dir != topo.West {
+		t.Errorf("wrap path = %v, want single west hop", pathDirs(path))
+	}
+	// (0,0) -> (2,0): tie (2 east vs 2 west) broken toward East.
+	dst2, _ := g.TileAt(2, 0)
+	path, err = XY{}.Route(g, src, dst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0].Dir != topo.East {
+		t.Errorf("tie path = %v, want two east hops", pathDirs(path))
+	}
+	// Vertical wrap: (0,0) -> (0,3) wraps north.
+	dst3, _ := g.TileAt(0, 3)
+	path, err = XY{}.Route(g, src, dst3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Dir != topo.North {
+		t.Errorf("vertical wrap = %v, want single north hop", pathDirs(path))
+	}
+}
+
+// Property: XY paths on a mesh are minimal (Manhattan distance) and pass
+// Check; X hops all precede Y hops.
+func TestXYMeshProperty(t *testing.T) {
+	g := mesh4(t)
+	f := func(sRaw, dRaw uint8) bool {
+		src := topo.TileID(int(sRaw) % 16)
+		dst := topo.TileID(int(dRaw) % 16)
+		path, err := XY{}.Route(g, src, dst)
+		if err != nil {
+			return false
+		}
+		if Check(src, dst, path) != nil {
+			return false
+		}
+		sx, sy := g.Coord(src)
+		dx, dy := g.Coord(dst)
+		manhattan := abs(sx-dx) + abs(sy-dy)
+		if len(path) != manhattan {
+			return false
+		}
+		seenY := false
+		for _, l := range path {
+			vertical := l.Dir == topo.North || l.Dir == topo.South
+			if vertical {
+				seenY = true
+			} else if seenY {
+				return false // X hop after a Y hop
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XY torus paths are minimal under wraparound distance.
+func TestXYTorusProperty(t *testing.T) {
+	g := torus4(t)
+	f := func(sRaw, dRaw uint8) bool {
+		src := topo.TileID(int(sRaw) % 16)
+		dst := topo.TileID(int(dRaw) % 16)
+		path, err := XY{}.Route(g, src, dst)
+		if err != nil || Check(src, dst, path) != nil {
+			return false
+		}
+		sx, sy := g.Coord(src)
+		dx, dy := g.Coord(dst)
+		distX := min(mod(dx-sx, 4), mod(sx-dx, 4))
+		distY := min(mod(dy-sy, 4), mod(sy-dy, 4))
+		return len(path) == distX+distY
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSOnRing(t *testing.T) {
+	r, _ := topo.NewRing(8)
+	path, err := BFS{}.Route(r, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(0, 3, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Errorf("ring path length %d, want 3", len(path))
+	}
+	// Wrap side is shorter for 0 -> 6.
+	path, err = BFS{}.Route(r, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("ring wrap path length %d, want 2", len(path))
+	}
+}
+
+func TestBFSMatchesManhattanOnMesh(t *testing.T) {
+	g := mesh4(t)
+	for src := topo.TileID(0); src < 16; src++ {
+		for dst := topo.TileID(0); dst < 16; dst++ {
+			bfsPath, err := BFS{}.Route(g, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xyPath, err := XY{}.Route(g, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bfsPath) != len(xyPath) {
+				t.Errorf("%d->%d: bfs %d hops, xy %d hops", src, dst, len(bfsPath), len(xyPath))
+			}
+		}
+	}
+}
+
+func TestBFSSameTileAndBounds(t *testing.T) {
+	g := mesh4(t)
+	path, err := BFS{}.Route(g, 7, 7)
+	if err != nil || len(path) != 0 {
+		t.Errorf("self route: %v, %v", path, err)
+	}
+	if _, err := (BFS{}).Route(g, 0, 99); err == nil {
+		t.Error("accepted out-of-range dst")
+	}
+}
+
+func TestCheckRejectsBrokenPaths(t *testing.T) {
+	g := mesh4(t)
+	path, _ := XY{}.Route(g, 0, 15)
+	// Wrong destination.
+	if err := Check(0, 14, path); err == nil {
+		t.Error("Check accepted wrong destination")
+	}
+	// Discontinuity.
+	if len(path) >= 2 {
+		broken := append([]topo.Link(nil), path...)
+		broken[1] = broken[len(broken)-1]
+		if err := Check(0, 15, broken); err == nil {
+			t.Error("Check accepted discontinuous path")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"xy", "yx", "bfs"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := ByName("zigzag"); err == nil {
+		t.Error("ByName accepted unknown algorithm")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mod(x, m int) int { return ((x % m) + m) % m }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

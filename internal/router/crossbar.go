@@ -1,0 +1,71 @@
+package router
+
+import (
+	"fmt"
+
+	"phonocmap/internal/photonic"
+)
+
+// Crossbar returns a matrix-crossbar 5x5 optical router: five horizontal
+// input waveguides (one per port) crossing five vertical output
+// waveguides, with a CPSE at every off-diagonal intersection and a plain
+// crossing on the diagonal (a port never routes to itself). Turning the
+// CPSE at intersection (i, j) ON couples input i to output j.
+//
+// The crossbar supports all 20 turns, so it works with any routing
+// algorithm (including YX, which Crux cannot serve), at the cost of 20
+// rings and a longer worst-case path — the classic area/loss baseline
+// against which optimized routers such as Crux are compared.
+//
+// Port conventions per element: A = input waveguide (A0 toward the input
+// port), B = output waveguide (B1 toward the output port). A signal from
+// input i to output j passes intersections (i, 0..j-1) OFF, switches at
+// (i, j), then passes (i+1..4, j) OFF down the output waveguide.
+func Crossbar() *Architecture {
+	b := NewBuilder("crossbar")
+	var elem [NumPorts][NumPorts]ElemID
+	for i := Port(0); i < NumPorts; i++ {
+		for j := Port(0); j < NumPorts; j++ {
+			kind := photonic.CPSE
+			if i == j {
+				kind = photonic.Crossing
+			}
+			elem[i][j] = b.AddElement(kind, fmt.Sprintf("x%d%d", i, j))
+		}
+	}
+	for i := Port(0); i < NumPorts; i++ {
+		for j := Port(0); j < NumPorts; j++ {
+			if i == j {
+				continue
+			}
+			var path []Traversal
+			for k := Port(0); k < j; k++ {
+				path = append(path, Traversal{Elem: elem[i][k], In: photonic.PortA0, State: photonic.Off})
+			}
+			path = append(path, Traversal{Elem: elem[i][j], In: photonic.PortA0, State: photonic.On})
+			for m := i + 1; m < NumPorts; m++ {
+				path = append(path, Traversal{Elem: elem[m][j], In: photonic.PortB0, State: photonic.Off})
+			}
+			b.SetPath(i, j, path)
+		}
+	}
+	a, err := b.Build()
+	if err != nil {
+		panic("router: crossbar construction failed: " + err.Error())
+	}
+	return a
+}
+
+// ByName returns a built-in router architecture by name.
+func ByName(name string) (*Architecture, error) {
+	switch name {
+	case "crux":
+		return Crux(), nil
+	case "cygnus":
+		return Cygnus(), nil
+	case "crossbar":
+		return Crossbar(), nil
+	default:
+		return nil, fmt.Errorf("router: unknown architecture %q (have crux, cygnus, crossbar)", name)
+	}
+}

@@ -1,0 +1,410 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"phonocmap/internal/photonic"
+)
+
+func TestPortStringAndValid(t *testing.T) {
+	want := map[Port]string{
+		Local: "local", North: "north", East: "east", South: "south", West: "west",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Port(%d).String() = %q, want %q", p, p.String(), s)
+		}
+		if !p.Valid() {
+			t.Errorf("port %v invalid", p)
+		}
+	}
+	if Port(5).Valid() {
+		t.Error("Port(5) valid")
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("test")
+	ring := b.AddElement(photonic.PPSE, "r0")
+	b.SetPath(Local, East, []Traversal{{Elem: ring, In: photonic.PortA0, State: photonic.On}})
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "test" || a.NumElements() != 1 {
+		t.Errorf("arch = %s, %d elements", a.Name(), a.NumElements())
+	}
+	if !a.Supports(Local, East) {
+		t.Error("declared turn unsupported")
+	}
+	if a.Supports(East, Local) {
+		t.Error("undeclared turn supported")
+	}
+	e, ok := a.Element(ring)
+	if !ok || e.Label != "r0" || e.Kind != photonic.PPSE {
+		t.Errorf("Element(%d) = %+v, %v", ring, e, ok)
+	}
+	if _, ok := a.Element(ElemID(5)); ok {
+		t.Error("out-of-range element lookup succeeded")
+	}
+	if a.RingCount() != 1 || a.CrossingCount() != 0 {
+		t.Errorf("counts: %d rings, %d crossings", a.RingCount(), a.CrossingCount())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"bad kind", func(b *Builder) { b.AddElement(photonic.Kind(9), "x") }},
+		{"empty label", func(b *Builder) { b.AddElement(photonic.PPSE, "") }},
+		{"dup label", func(b *Builder) {
+			b.AddElement(photonic.PPSE, "x")
+			b.AddElement(photonic.CPSE, "x")
+		}},
+		{"u-turn", func(b *Builder) {
+			e := b.AddElement(photonic.PPSE, "x")
+			b.SetPath(East, East, []Traversal{{Elem: e, In: photonic.PortA0}})
+		}},
+		{"double set", func(b *Builder) {
+			e := b.AddElement(photonic.PPSE, "x")
+			b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.PortA0}})
+			b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.PortA0}})
+		}},
+		{"invalid port", func(b *Builder) {
+			e := b.AddElement(photonic.PPSE, "x")
+			b.SetPath(Port(9), East, []Traversal{{Elem: e, In: photonic.PortA0}})
+		}},
+		{"unknown element", func(b *Builder) {
+			b.AddElement(photonic.PPSE, "x")
+			b.SetPath(Local, East, []Traversal{{Elem: ElemID(7), In: photonic.PortA0}})
+		}},
+		{"bad in port", func(b *Builder) {
+			e := b.AddElement(photonic.PPSE, "x")
+			b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.Port(9)}})
+		}},
+		{"element twice", func(b *Builder) {
+			e := b.AddElement(photonic.PPSE, "x")
+			b.SetPath(Local, East, []Traversal{
+				{Elem: e, In: photonic.PortA0},
+				{Elem: e, In: photonic.PortA1},
+			})
+		}},
+		{"crossing on", func(b *Builder) {
+			e := b.AddElement(photonic.Crossing, "x")
+			b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.PortA0, State: photonic.On}})
+		}},
+		{"no paths", func(b *Builder) { b.AddElement(photonic.PPSE, "x") }},
+	}
+	for _, c := range cases {
+		b := NewBuilder("bad")
+		c.build(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded", c.name)
+		}
+	}
+}
+
+func TestBuilderSingleUse(t *testing.T) {
+	b := NewBuilder("once")
+	e := b.AddElement(photonic.PPSE, "r")
+	b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.PortA0, State: photonic.On}})
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("second Build succeeded")
+	}
+}
+
+func TestStepsResolveOutAndLoss(t *testing.T) {
+	p := photonic.DefaultParams()
+	b := NewBuilder("steps")
+	ring := b.AddElement(photonic.CPSE, "r")
+	cross := b.AddElement(photonic.Crossing, "c")
+	b.SetPath(West, North, []Traversal{
+		{Elem: cross, In: photonic.PortA0},
+		{Elem: ring, In: photonic.PortA0, State: photonic.On},
+	})
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok := a.Steps(p, West, North)
+	if !ok || len(steps) != 2 {
+		t.Fatalf("Steps = %v, ok=%v", steps, ok)
+	}
+	if steps[0].Out != photonic.PortA1 || steps[0].Loss != p.CrossingLoss {
+		t.Errorf("crossing step = %+v", steps[0])
+	}
+	if steps[1].Out != photonic.PortB1 || steps[1].Loss != p.CPSEOnLoss {
+		t.Errorf("ring step = %+v", steps[1])
+	}
+	loss, ok := a.PathLoss(p, West, North)
+	if !ok || math.Abs(loss-(-0.54)) > 1e-12 {
+		t.Errorf("PathLoss = %v, want -0.54", loss)
+	}
+	if _, ok := a.PathLoss(p, North, West); ok {
+		t.Error("PathLoss reported an unsupported turn")
+	}
+}
+
+func TestCruxShape(t *testing.T) {
+	a := Crux()
+	if a.Name() != "crux" {
+		t.Errorf("name = %q", a.Name())
+	}
+	if got := a.RingCount(); got != 12 {
+		t.Errorf("Crux rings = %d, want 12", got)
+	}
+	if got := a.CrossingCount(); got != 5 {
+		t.Errorf("Crux crossings = %d, want 5", got)
+	}
+	if got := len(a.SupportedTurns()); got != 16 {
+		t.Errorf("Crux turns = %d, want 16", got)
+	}
+}
+
+func TestCruxSupportsXYOnly(t *testing.T) {
+	a := Crux()
+	if err := CheckTurns(a, RequiredTurnsXY()); err != nil {
+		t.Errorf("Crux fails XY turns: %v", err)
+	}
+	// Y-to-X turns are deliberately absent.
+	for _, turn := range [][2]Port{{North, East}, {North, West}, {South, East}, {South, West}} {
+		if a.Supports(turn[0], turn[1]) {
+			t.Errorf("Crux supports forbidden turn %v->%v", turn[0], turn[1])
+		}
+	}
+	if err := CheckTurns(a, RequiredTurnsAll()); err == nil {
+		t.Error("Crux claims full connectivity")
+	}
+}
+
+func TestCruxExactlyOneOnRingPerPath(t *testing.T) {
+	// The defining property of the reconstruction: injection, ejection
+	// and turn paths switch exactly one ring ON; dimension-through paths
+	// switch none.
+	a := Crux()
+	p := photonic.DefaultParams()
+	through := map[[2]Port]bool{
+		{West, East}: true, {East, West}: true,
+		{North, South}: true, {South, North}: true,
+	}
+	for _, turn := range a.SupportedTurns() {
+		steps, _ := a.Steps(p, turn[0], turn[1])
+		onCount := 0
+		for _, s := range steps {
+			if s.State == photonic.On {
+				if s.Kind == photonic.Crossing {
+					t.Errorf("%v->%v: crossing marked On", turn[0], turn[1])
+				}
+				onCount++
+			}
+		}
+		want := 1
+		if through[turn] {
+			want = 0
+		}
+		if onCount != want {
+			t.Errorf("%v->%v: %d ON rings, want %d", turn[0], turn[1], onCount, want)
+		}
+	}
+}
+
+func TestCruxLossProfile(t *testing.T) {
+	a := Crux()
+	p := photonic.DefaultParams()
+	// Through traffic must be much cheaper than switched traffic.
+	we, _ := a.PathLoss(p, West, East)
+	ns, _ := a.PathLoss(p, North, South)
+	inj, _ := a.PathLoss(p, Local, North)
+	ej, _ := a.PathLoss(p, North, Local)
+	turn, _ := a.PathLoss(p, West, North)
+	for name, loss := range map[string]float64{"W->E": we, "N->S": ns} {
+		if loss < -0.5 || loss >= 0 {
+			t.Errorf("through loss %s = %v, want in (-0.5, 0)", name, loss)
+		}
+	}
+	for name, loss := range map[string]float64{"inject": inj, "eject": ej, "turn": turn} {
+		if loss > -0.5 {
+			t.Errorf("switched loss %s = %v, want <= -0.5 (one ON ring)", name, loss)
+		}
+		if loss < -1.0 {
+			t.Errorf("switched loss %s = %v, implausibly large", name, loss)
+		}
+	}
+	// Symmetry of the two X directions and the two Y directions.
+	ew, _ := a.PathLoss(p, East, West)
+	sn, _ := a.PathLoss(p, South, North)
+	if math.Abs(we-ew) > 1e-12 {
+		t.Errorf("W->E loss %v != E->W loss %v", we, ew)
+	}
+	if math.Abs(ns-sn) > 1e-12 {
+		t.Errorf("N->S loss %v != S->N loss %v", ns, sn)
+	}
+	if a.WorstTurnLoss(p) >= 0 || a.WorstTurnLoss(p) < -1.0 {
+		t.Errorf("WorstTurnLoss = %v out of plausible range", a.WorstTurnLoss(p))
+	}
+}
+
+func TestCruxStepsContinuity(t *testing.T) {
+	// Sanity of the hand-built layout: within a path, the waveguide
+	// direction never "teleports" — each step's exit and the next step's
+	// entry must both be interior or both be endpoints of the path. We
+	// cannot check full netlist geometry (the builder does not model
+	// waveguide segments), but we can at least require every traversal's
+	// ports to be valid and every PSE ON step to change waveguide.
+	a := Crux()
+	p := photonic.DefaultParams()
+	for _, turn := range a.SupportedTurns() {
+		steps, _ := a.Steps(p, turn[0], turn[1])
+		if len(steps) == 0 {
+			t.Errorf("%v->%v: empty path", turn[0], turn[1])
+		}
+		for i, s := range steps {
+			if !s.In.Valid() || !s.Out.Valid() {
+				t.Errorf("%v->%v step %d: invalid ports %+v", turn[0], turn[1], i, s)
+			}
+			if s.State == photonic.On && photonic.SameWaveguide(s.In, s.Out) {
+				t.Errorf("%v->%v step %d: ON ring did not switch waveguide", turn[0], turn[1], i)
+			}
+			if s.State == photonic.Off && !photonic.SameWaveguide(s.In, s.Out) {
+				t.Errorf("%v->%v step %d: OFF element switched waveguide", turn[0], turn[1], i)
+			}
+		}
+	}
+}
+
+func TestCrossbarShape(t *testing.T) {
+	a := Crossbar()
+	if a.RingCount() != 20 {
+		t.Errorf("crossbar rings = %d, want 20", a.RingCount())
+	}
+	if a.CrossingCount() != 5 {
+		t.Errorf("crossbar crossings = %d, want 5", a.CrossingCount())
+	}
+	if err := CheckTurns(a, RequiredTurnsAll()); err != nil {
+		t.Errorf("crossbar not fully connected: %v", err)
+	}
+}
+
+func TestCrossbarPathStructure(t *testing.T) {
+	a := Crossbar()
+	p := photonic.DefaultParams()
+	for _, turn := range a.SupportedTurns() {
+		steps, _ := a.Steps(p, turn[0], turn[1])
+		onCount := 0
+		for _, s := range steps {
+			if s.State == photonic.On {
+				onCount++
+			}
+		}
+		if onCount != 1 {
+			t.Errorf("%v->%v: %d ON rings, want 1", turn[0], turn[1], onCount)
+		}
+		wantLen := int(turn[1]) + (int(NumPorts) - 1 - int(turn[0])) + 1
+		if len(steps) != wantLen {
+			t.Errorf("%v->%v: %d steps, want %d", turn[0], turn[1], len(steps), wantLen)
+		}
+	}
+}
+
+func TestCrossbarWorseThanCrux(t *testing.T) {
+	// The optimized router must beat the crossbar baseline on worst-case
+	// per-router loss — the reason Crux exists.
+	p := photonic.DefaultParams()
+	if crux, bar := Crux().WorstTurnLoss(p), Crossbar().WorstTurnLoss(p); crux < bar {
+		t.Errorf("crux worst loss %v is worse than crossbar %v", crux, bar)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"crux", "crossbar"} {
+		a, err := ByName(name)
+		if err != nil || a.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ByName("warp-drive"); err == nil {
+		t.Error("ByName accepted unknown router")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	got := Crux().Summary()
+	want := "crux: 12 rings, 5 crossings, 16 turns"
+	if got != want {
+		t.Errorf("Summary = %q, want %q", got, want)
+	}
+}
+
+func TestCheckTurnsReportsMissing(t *testing.T) {
+	b := NewBuilder("partial")
+	e := b.AddElement(photonic.PPSE, "r")
+	b.SetPath(Local, East, []Traversal{{Elem: e, In: photonic.PortA0, State: photonic.On}})
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = CheckTurns(a, RequiredTurnsXY())
+	if err == nil {
+		t.Fatal("CheckTurns passed an incomplete router")
+	}
+}
+
+func TestCygnusShape(t *testing.T) {
+	a := Cygnus()
+	if a.Name() != "cygnus" {
+		t.Errorf("name = %q", a.Name())
+	}
+	// Same netlist as Crux: 12 rings, 5 crossings — the corner rings are
+	// reciprocal couplers serving both turn directions.
+	if a.RingCount() != 12 || a.CrossingCount() != 5 {
+		t.Errorf("shape: %d rings, %d crossings", a.RingCount(), a.CrossingCount())
+	}
+	if got := len(a.SupportedTurns()); got != 20 {
+		t.Errorf("turns = %d, want 20 (all)", got)
+	}
+	if err := CheckTurns(a, RequiredTurnsAll()); err != nil {
+		t.Errorf("cygnus not fully connected: %v", err)
+	}
+}
+
+func TestCygnusYXTurnsUseOneOnRing(t *testing.T) {
+	a := Cygnus()
+	p := photonic.DefaultParams()
+	for _, turn := range [][2]Port{{North, West}, {North, East}, {South, West}, {South, East}} {
+		steps, ok := a.Steps(p, turn[0], turn[1])
+		if !ok {
+			t.Fatalf("%v->%v missing", turn[0], turn[1])
+		}
+		on := 0
+		for _, s := range steps {
+			if s.State == photonic.On {
+				on++
+				if photonic.SameWaveguide(s.In, s.Out) {
+					t.Errorf("%v->%v: ON ring did not switch waveguide", turn[0], turn[1])
+				}
+			}
+		}
+		if on != 1 {
+			t.Errorf("%v->%v: %d ON rings, want 1", turn[0], turn[1], on)
+		}
+	}
+}
+
+func TestCygnusMatchesCruxOnXYTurns(t *testing.T) {
+	// The shared turn subset must have identical losses: same hardware.
+	p := photonic.DefaultParams()
+	crux, cyg := Crux(), Cygnus()
+	for _, turn := range RequiredTurnsXY() {
+		lc, ok1 := crux.PathLoss(p, turn[0], turn[1])
+		lg, ok2 := cyg.PathLoss(p, turn[0], turn[1])
+		if !ok1 || !ok2 || lc != lg {
+			t.Errorf("%v->%v: crux %v (%v) vs cygnus %v (%v)", turn[0], turn[1], lc, ok1, lg, ok2)
+		}
+	}
+}

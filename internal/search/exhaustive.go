@@ -1,0 +1,67 @@
+package search
+
+import (
+	"fmt"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// Exhaustive enumerates every injective mapping in lexicographic order —
+// feasible only for tiny instances (the number of mappings is
+// tiles!/(tiles-tasks)!), but invaluable as the ground-truth oracle in
+// tests and for verifying that the heuristics reach the true optimum on
+// small problems.
+type Exhaustive struct{}
+
+// Name returns "exhaustive".
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// MappingCount returns tiles!/(tiles-tasks)! — the size of the search
+// space (capped at a large sentinel to avoid overflow).
+func MappingCount(tasks, tiles int) uint64 {
+	const limit = uint64(1) << 62
+	count := uint64(1)
+	for i := 0; i < tasks; i++ {
+		count *= uint64(tiles - i)
+		if count > limit {
+			return limit
+		}
+	}
+	return count
+}
+
+// Search implements core.Searcher. When the budget is smaller than the
+// space, the lexicographic prefix is searched; the context still holds
+// the best mapping of the evaluated prefix.
+func (Exhaustive) Search(ctx *core.Context) error {
+	tasks := ctx.Problem().NumTasks()
+	tiles := ctx.Problem().NumTiles()
+	if tasks < 1 {
+		return fmt.Errorf("search: exhaustive needs at least one task")
+	}
+	m := make(core.Mapping, tasks)
+	used := make([]bool, tiles)
+	var rec func(task int) (bool, error)
+	rec = func(task int) (bool, error) {
+		if task == tasks {
+			_, ok, err := ctx.Evaluate(m)
+			return ok, err
+		}
+		for t := 0; t < tiles; t++ {
+			if used[t] {
+				continue
+			}
+			used[t] = true
+			m[task] = topo.TileID(t)
+			ok, err := rec(task + 1)
+			used[t] = false
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(0)
+	return err
+}

@@ -1,0 +1,212 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// GA is the paper's genetic algorithm: a fixed-size population of
+// candidate mappings evolves through tournament selection, partially
+// mapped crossover (PMX) and swap mutation, with elitism, until the
+// evaluation budget is exhausted.
+//
+// Mappings of n tasks onto m >= n tiles are encoded as full permutations
+// of the m tiles; the first n genes are the mapping and the remainder are
+// phantom placements, so PMX and swap mutation preserve injectivity by
+// construction.
+type GA struct {
+	// PopSize is the population size (paper: "fixed-sized population").
+	PopSize int
+	// Elite individuals survive unchanged each generation.
+	Elite int
+	// TournamentK is the tournament selection size.
+	TournamentK int
+	// CrossoverRate is the probability a child is produced by PMX rather
+	// than cloning a parent.
+	CrossoverRate float64
+	// MutationRate is the probability a child undergoes one swap
+	// mutation (repeated geometrically: after each applied swap another
+	// follows with the same probability).
+	MutationRate float64
+}
+
+// NewGA returns a GA with the default parameter set used in the
+// experiments.
+func NewGA() *GA {
+	return &GA{
+		PopSize:       48,
+		Elite:         2,
+		TournamentK:   3,
+		CrossoverRate: 0.9,
+		MutationRate:  0.4,
+	}
+}
+
+// Name returns "ga".
+func (g *GA) Name() string { return "ga" }
+
+func (g *GA) validate() error {
+	if g.PopSize < 2 {
+		return fmt.Errorf("search: ga population must be >= 2, got %d", g.PopSize)
+	}
+	if g.Elite < 0 || g.Elite >= g.PopSize {
+		return fmt.Errorf("search: ga elite %d out of range [0, %d)", g.Elite, g.PopSize)
+	}
+	if g.TournamentK < 1 {
+		return fmt.Errorf("search: ga tournament size must be >= 1, got %d", g.TournamentK)
+	}
+	if g.CrossoverRate < 0 || g.CrossoverRate > 1 {
+		return fmt.Errorf("search: ga crossover rate %v out of [0,1]", g.CrossoverRate)
+	}
+	if g.MutationRate < 0 || g.MutationRate > 1 {
+		return fmt.Errorf("search: ga mutation rate %v out of [0,1]", g.MutationRate)
+	}
+	return nil
+}
+
+// individual is a full tile permutation plus its cached score.
+type individual struct {
+	perm  []topo.TileID
+	score core.Score
+	valid bool // score evaluated
+}
+
+// Search implements core.Searcher.
+func (g *GA) Search(ctx *core.Context) error {
+	if err := g.validate(); err != nil {
+		return err
+	}
+	rng := ctx.Rng()
+	numTasks := ctx.Problem().NumTasks()
+	numTiles := ctx.Problem().NumTiles()
+
+	newIndividual := func() individual {
+		perm := make([]topo.TileID, numTiles)
+		for i, v := range rng.Perm(numTiles) {
+			perm[i] = topo.TileID(v)
+		}
+		return individual{perm: perm}
+	}
+	evaluate := func(ind *individual) (bool, error) {
+		if ind.valid {
+			return true, nil
+		}
+		s, ok, err := ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		if err != nil || !ok {
+			return ok, err
+		}
+		ind.score, ind.valid = s, true
+		return true, nil
+	}
+
+	pop := make([]individual, g.PopSize)
+	for i := range pop {
+		pop[i] = newIndividual()
+		if ok, err := evaluate(&pop[i]); err != nil {
+			return err
+		} else if !ok {
+			return nil // budget exhausted during initialization
+		}
+	}
+
+	tournament := func() *individual {
+		best := &pop[rng.Intn(len(pop))]
+		for i := 1; i < g.TournamentK; i++ {
+			c := &pop[rng.Intn(len(pop))]
+			if c.score.Better(best.score) {
+				best = c
+			}
+		}
+		return best
+	}
+
+	next := make([]individual, 0, g.PopSize)
+	for !ctx.Exhausted() {
+		next = next[:0]
+		// Elitism: carry the best individuals over unchanged.
+		sortByScore(pop)
+		for i := 0; i < g.Elite; i++ {
+			elite := individual{perm: clonePerm(pop[i].perm), score: pop[i].score, valid: true}
+			next = append(next, elite)
+		}
+		for len(next) < g.PopSize {
+			p1, p2 := tournament(), tournament()
+			var child individual
+			if rng.Float64() < g.CrossoverRate {
+				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
+			} else {
+				child = individual{perm: clonePerm(p1.perm)}
+			}
+			for rng.Float64() < g.MutationRate {
+				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
+				child.perm[i], child.perm[j] = child.perm[j], child.perm[i]
+				child.valid = false
+			}
+			if !child.valid {
+				if ok, err := evaluate(&child); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+			next = append(next, child)
+		}
+		pop, next = next, pop
+	}
+	return nil
+}
+
+func clonePerm(p []topo.TileID) []topo.TileID {
+	c := make([]topo.TileID, len(p))
+	copy(c, p)
+	return c
+}
+
+func sortByScore(pop []individual) {
+	// Insertion sort: populations are small and mostly sorted across
+	// generations.
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].score.Better(pop[j-1].score); j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}
+
+// pmx is partially mapped crossover over permutations: a random segment
+// of parent a is copied verbatim, and the remaining positions take parent
+// b's genes, remapped through the segment's correspondence so the result
+// stays a permutation.
+func pmx(rng *rand.Rand, a, b []topo.TileID) []topo.TileID {
+	n := len(a)
+	child := make([]topo.TileID, n)
+	lo := rng.Intn(n)
+	hi := rng.Intn(n)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	inSegment := make(map[topo.TileID]bool, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		inSegment[a[i]] = true
+	}
+	// mapTo[x] answers: the gene x of b collides with the segment; which
+	// gene does the correspondence chain resolve it to?
+	posInA := make(map[topo.TileID]int, n)
+	for i, v := range a {
+		posInA[v] = i
+	}
+	for i := 0; i < n; i++ {
+		if i >= lo && i <= hi {
+			continue
+		}
+		v := b[i]
+		for inSegment[v] {
+			v = b[posInA[v]]
+		}
+		child[i] = v
+	}
+	return child
+}

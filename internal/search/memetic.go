@@ -1,0 +1,88 @@
+package search
+
+import (
+	"fmt"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// Memetic is a hybrid of the paper's two strong strategies: a genetic
+// algorithm for global exploration with a bounded greedy swap descent
+// (the R-PBLA move) applied to the best individual of each generation.
+// It is one of the "other strategies" the extensible DSE engine admits,
+// and typically converges faster than either parent algorithm on dense
+// CGs where GA crossover alone stalls near good basins.
+type Memetic struct {
+	// GA configures the underlying genetic algorithm.
+	GA *GA
+	// RefineMoves bounds the random swap moves tried when refining the
+	// generation's best individual (each costs one evaluation).
+	RefineMoves int
+}
+
+// NewMemetic returns a memetic searcher with default parameters.
+func NewMemetic() *Memetic {
+	return &Memetic{GA: NewGA(), RefineMoves: 24}
+}
+
+// Name returns "memetic".
+func (m *Memetic) Name() string { return "memetic" }
+
+// Search implements core.Searcher. The memetic search alternates short
+// GA bursts (fresh populations on a budget slice, in the manner of
+// iterated restarts) with first-improvement swap descent on the shared
+// incumbent; the context's incumbent ledger carries progress across
+// bursts.
+func (m *Memetic) Search(ctx *core.Context) error {
+	if m.GA == nil {
+		return fmt.Errorf("search: memetic needs a GA configuration")
+	}
+	if m.RefineMoves < 1 {
+		return fmt.Errorf("search: memetic RefineMoves must be >= 1, got %d", m.RefineMoves)
+	}
+	if err := m.GA.validate(); err != nil {
+		return err
+	}
+	numTiles := ctx.Problem().NumTiles()
+	rng := ctx.Rng()
+
+	for !ctx.Exhausted() {
+		// GA burst: roughly four generations worth of evaluations.
+		burst := 4 * m.GA.PopSize
+		if remaining := ctx.Remaining(); burst > remaining {
+			burst = remaining
+		}
+		if err := ctx.WithBudgetSlice(burst, m.GA.Search); err != nil {
+			return err
+		}
+		// Local refinement of the incumbent.
+		best, bestScore, ok := ctx.Best()
+		if !ok {
+			return nil
+		}
+		sl := newSlots(best, numTiles)
+		cur := bestScore
+		for i := 0; i < m.RefineMoves && !ctx.Exhausted(); i++ {
+			a := topo.TileID(rng.Intn(numTiles))
+			b := topo.TileID(rng.Intn(numTiles))
+			if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+				continue
+			}
+			sl.swapTiles(a, b)
+			s, evaluated, err := ctx.Evaluate(sl.mapping)
+			if err != nil {
+				return err
+			}
+			if !evaluated {
+				return nil
+			}
+			if s.Better(cur) {
+				cur = s // keep the move
+			} else {
+				sl.swapTiles(a, b) // undo
+			}
+		}
+	}
+	return nil
+}

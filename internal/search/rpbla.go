@@ -1,0 +1,76 @@
+package search
+
+import (
+	"fmt"
+
+	"phonocmap/internal/core"
+)
+
+// RPBLA is the paper's purpose-built randomized priority-based list
+// algorithm. From a random starting mapping it repeatedly builds the list
+// of admitted moves — swapping the tasks mapped onto two different tiles
+// (including relocations onto free tiles) — ordered by the worst-case
+// loss or SNR each move would produce, and greedily applies the best
+// move. Uphill moves are never taken, so when no move improves the
+// current mapping (a local minimum), the incumbent is recorded and the
+// search restarts from a fresh random point, hoping to fall into a
+// different region of attraction (Section II-D.2).
+type RPBLA struct {
+	// MaxRounds caps the number of ranking rounds per restart as a
+	// safety valve; 0 means unlimited (the budget is the real limit).
+	MaxRounds int
+}
+
+// NewRPBLA returns an R-PBLA with default parameters.
+func NewRPBLA() *RPBLA { return &RPBLA{} }
+
+// Name returns "rpbla".
+func (r *RPBLA) Name() string { return "rpbla" }
+
+// Search implements core.Searcher.
+func (r *RPBLA) Search(ctx *core.Context) error {
+	if r.MaxRounds < 0 {
+		return fmt.Errorf("search: rpbla MaxRounds must be >= 0, got %d", r.MaxRounds)
+	}
+	numTiles := ctx.Problem().NumTiles()
+	var ranked []rankedMove
+
+	for !ctx.Exhausted() {
+		// Fresh random starting point.
+		cur := ctx.RandomMapping()
+		curScore, ok, err := ctx.Evaluate(cur)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		sl := newSlots(cur, numTiles)
+		moves := admittedMoves(sl)
+
+		for round := 0; r.MaxRounds == 0 || round < r.MaxRounds; round++ {
+			var full bool
+			ranked, full, err = rankMoves(ctx, sl, moves, ranked)
+			if err != nil {
+				return err
+			}
+			if len(ranked) == 0 {
+				return nil // budget died before ranking anything
+			}
+			best := ranked[0]
+			if !best.score.Better(curScore) {
+				// Local minimum: the incumbent is already recorded by
+				// the context; restart from a new random point.
+				break
+			}
+			sl.swapTiles(best.m.a, best.m.b)
+			curScore = best.score
+			if !full {
+				// Ranking was cut short by the budget; the applied move
+				// was the best of the evaluated prefix. Stop cleanly.
+				return nil
+			}
+		}
+	}
+	return nil
+}

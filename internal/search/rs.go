@@ -1,0 +1,25 @@
+package search
+
+import "phonocmap/internal/core"
+
+// RS is the paper's random search: generate a population of random
+// mappings of a given size (here: as many as the budget allows) and keep
+// the best. It is the weakest strategy on all but the smallest instances
+// (Table II) and serves as the statistical baseline — Figure 3 is the
+// distribution RS samples from.
+type RS struct{}
+
+// Name returns "rs".
+func (RS) Name() string { return "rs" }
+
+// Search implements core.Searcher.
+func (RS) Search(ctx *core.Context) error {
+	for !ctx.Exhausted() {
+		if _, ok, err := ctx.Evaluate(ctx.RandomMapping()); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// SA is simulated annealing over the swap-move neighborhood: one of the
+// "other strategies" the tool architecture accommodates beyond the three
+// algorithms of the paper. Unlike R-PBLA it accepts uphill moves with a
+// temperature-controlled probability, trading the priority list for
+// stochastic hill escape.
+type SA struct {
+	// InitialAcceptance calibrates the starting temperature: the
+	// fraction of early uphill moves that should be accepted (0, 1).
+	InitialAcceptance float64
+	// FinalTempFactor is the ratio of final to initial temperature
+	// reached exactly when the budget runs out (geometric cooling).
+	FinalTempFactor float64
+	// CalibrationSamples is the number of random mappings used to
+	// estimate the initial cost scale.
+	CalibrationSamples int
+}
+
+// NewSA returns an annealer with default parameters.
+func NewSA() *SA {
+	return &SA{
+		InitialAcceptance:  0.5,
+		FinalTempFactor:    1e-4,
+		CalibrationSamples: 16,
+	}
+}
+
+// Name returns "sa".
+func (s *SA) Name() string { return "sa" }
+
+func (s *SA) validate() error {
+	if s.InitialAcceptance <= 0 || s.InitialAcceptance >= 1 {
+		return fmt.Errorf("search: sa initial acceptance %v out of (0,1)", s.InitialAcceptance)
+	}
+	if s.FinalTempFactor <= 0 || s.FinalTempFactor >= 1 {
+		return fmt.Errorf("search: sa final temperature factor %v out of (0,1)", s.FinalTempFactor)
+	}
+	if s.CalibrationSamples < 2 {
+		return fmt.Errorf("search: sa needs >= 2 calibration samples, got %d", s.CalibrationSamples)
+	}
+	return nil
+}
+
+// Search implements core.Searcher.
+func (s *SA) Search(ctx *core.Context) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	rng := ctx.Rng()
+	numTiles := ctx.Problem().NumTiles()
+
+	// Calibration: estimate the cost spread of random mappings to set
+	// the initial temperature so that a typical uphill step is accepted
+	// with probability InitialAcceptance.
+	var costs []float64
+	var cur core.Mapping
+	var curScore core.Score
+	for i := 0; i < s.CalibrationSamples; i++ {
+		m := ctx.RandomMapping()
+		sc, ok, err := ctx.Evaluate(m)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if math.IsInf(sc.Cost, 0) {
+			continue // infinite-SNR outliers would break the scale
+		}
+		costs = append(costs, sc.Cost)
+		if cur == nil || sc.Better(curScore) {
+			cur, curScore = m.Clone(), sc
+		}
+	}
+	if cur == nil {
+		// All calibration samples were infinite; greedy walk instead.
+		cur = ctx.RandomMapping()
+		sc, ok, err := ctx.Evaluate(cur)
+		if err != nil || !ok {
+			return err
+		}
+		curScore = sc
+	}
+	spread := costSpread(costs)
+	if spread <= 0 {
+		spread = 1
+	}
+	t0 := -spread / math.Log(s.InitialAcceptance)
+	alpha := math.Pow(s.FinalTempFactor, 1/math.Max(1, float64(ctx.Remaining())))
+
+	sl := newSlots(cur, numTiles)
+	temp := t0
+	for !ctx.Exhausted() {
+		a := topo.TileID(rng.Intn(numTiles))
+		b := topo.TileID(rng.Intn(numTiles))
+		if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+			continue // not an admitted move; costs no budget
+		}
+		sl.swapTiles(a, b)
+		sc, ok, err := ctx.Evaluate(sl.mapping)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		accept := sc.Better(curScore)
+		if !accept {
+			delta := sc.Cost - curScore.Cost
+			if !math.IsInf(delta, 0) && rng.Float64() < math.Exp(-delta/temp) {
+				accept = true
+			}
+		}
+		if accept {
+			curScore = sc
+		} else {
+			sl.swapTiles(a, b) // undo
+		}
+		temp *= alpha
+	}
+	return nil
+}
+
+// costSpread returns the mean absolute deviation of the sampled costs.
+func costSpread(costs []float64) float64 {
+	if len(costs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, c := range costs {
+		mean += c
+	}
+	mean /= float64(len(costs))
+	dev := 0.0
+	for _, c := range costs {
+		dev += math.Abs(c - mean)
+	}
+	return dev / float64(len(costs))
+}

@@ -1,0 +1,150 @@
+// Package search implements the mapping optimization strategies of
+// PhoNoCMap's design space exploration engine (Section II-D.2): the three
+// algorithms evaluated in the paper — random search (RS), a genetic
+// algorithm (GA) and the randomized priority-based list algorithm
+// (R-PBLA) — plus additional strategies (simulated annealing, tabu
+// search, exhaustive enumeration) exercising the paper's claim that new
+// optimizers plug in without changes to the tool core.
+//
+// Every algorithm draws randomness exclusively from the run context and
+// spends evaluations through core.Context.Evaluate, which enforces the
+// equal-budget fairness rule and tracks the incumbent.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// New returns a fresh instance of the named algorithm with default
+// parameters. Known names: "rs", "ga", "rpbla", "sa", "tabu", "memetic",
+// "exhaustive".
+func New(name string) (core.Searcher, error) {
+	switch name {
+	case "rs":
+		return RS{}, nil
+	case "ga":
+		return NewGA(), nil
+	case "rpbla":
+		return NewRPBLA(), nil
+	case "sa":
+		return NewSA(), nil
+	case "tabu":
+		return NewTabu(), nil
+	case "memetic":
+		return NewMemetic(), nil
+	case "exhaustive":
+		return Exhaustive{}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the built-in algorithm names, paper algorithms first.
+func Names() []string {
+	return []string{"rs", "ga", "rpbla", "sa", "tabu", "memetic", "exhaustive"}
+}
+
+// PaperNames lists the three algorithms compared in Table II.
+func PaperNames() []string { return []string{"rs", "ga", "rpbla"} }
+
+// slots is the tile-centric view of a mapping: slots[tile] is the task
+// hosted on that tile, or -1. It makes swap-neighborhood enumeration and
+// task moves O(1).
+type slots struct {
+	taskOf  []int // by tile
+	mapping core.Mapping
+}
+
+func newSlots(m core.Mapping, numTiles int) *slots {
+	s := &slots{
+		taskOf:  make([]int, numTiles),
+		mapping: m.Clone(),
+	}
+	for t := range s.taskOf {
+		s.taskOf[t] = -1
+	}
+	for task, tile := range m {
+		s.taskOf[tile] = task
+	}
+	return s
+}
+
+// reset re-seats the slot view on a new mapping.
+func (s *slots) reset(m core.Mapping) {
+	for t := range s.taskOf {
+		s.taskOf[t] = -1
+	}
+	copy(s.mapping, m)
+	for task, tile := range m {
+		s.taskOf[tile] = task
+	}
+}
+
+// swapTiles exchanges the contents of two tiles (tasks or emptiness),
+// keeping the mapping in sync. Swapping two empty tiles is a no-op.
+func (s *slots) swapTiles(a, b topo.TileID) {
+	ta, tb := s.taskOf[a], s.taskOf[b]
+	s.taskOf[a], s.taskOf[b] = tb, ta
+	if ta >= 0 {
+		s.mapping[ta] = b
+	}
+	if tb >= 0 {
+		s.mapping[tb] = a
+	}
+}
+
+// move is one admitted move of the priority-based list algorithms: swap
+// the contents of two tiles, at least one of which hosts a task.
+type move struct {
+	a, b topo.TileID
+}
+
+// admittedMoves enumerates every admitted move for a problem of the given
+// size, in deterministic order: all tile pairs (a < b) where at least one
+// side will host a task. For fully packed problems this is all task-task
+// swaps; with spare tiles it also includes task relocations.
+func admittedMoves(s *slots) []move {
+	var res []move
+	n := len(s.taskOf)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if s.taskOf[a] >= 0 || s.taskOf[b] >= 0 {
+				res = append(res, move{a: topo.TileID(a), b: topo.TileID(b)})
+			}
+		}
+	}
+	return res
+}
+
+// rankedMove pairs a move with its evaluated score for the priority list.
+type rankedMove struct {
+	m     move
+	score core.Score
+}
+
+// rankMoves evaluates every admitted move from the current state and
+// returns the moves sorted best-first (the paper's priority-based list,
+// "ordered according to the worst-case power loss or SNR associated with
+// any potential move"). It consumes one budget unit per move; when the
+// budget runs out midway the evaluated prefix is returned with ok=false.
+func rankMoves(ctx *core.Context, s *slots, moves []move, buf []rankedMove) ([]rankedMove, bool, error) {
+	buf = buf[:0]
+	for _, mv := range moves {
+		s.swapTiles(mv.a, mv.b)
+		score, ok, err := ctx.Evaluate(s.mapping)
+		s.swapTiles(mv.a, mv.b) // undo
+		if err != nil {
+			return buf, false, err
+		}
+		if !ok {
+			return buf, false, nil
+		}
+		buf = append(buf, rankedMove{m: mv, score: score})
+	}
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].score.Better(buf[j].score) })
+	return buf, true, nil
+}

@@ -1,0 +1,415 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/route"
+	"phonocmap/internal/router"
+	"phonocmap/internal/topo"
+)
+
+func meshNet(t *testing.T, w, h int) *network.Network {
+	t.Helper()
+	g, err := topo.NewMesh(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := network.New(g, router.Crux(), route.XY{}, photonic.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func problem(t *testing.T, app string, w, h int, obj core.Objective) *core.Problem {
+	t.Helper()
+	p, err := core.NewProblem(cg.MustApp(app), meshNet(t, w, h), obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tinyProblem is a 4-task pipeline on a 2x2 mesh: 24 possible mappings,
+// so exhaustive search is exact and fast.
+func tinyProblem(t *testing.T, obj core.Objective) *core.Problem {
+	t.Helper()
+	pipe, err := cg.Pipeline(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(pipe, meshNet(t, 2, 2), obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runAlgo(t *testing.T, s core.Searcher, p *core.Problem, budget int, seed int64) (core.Mapping, core.Score) {
+	t.Helper()
+	ctx, err := core.NewContext(p, rand.New(rand.NewSource(seed)), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Search(ctx); err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	m, sc, ok := ctx.Best()
+	if !ok {
+		t.Fatalf("%s: no best found", s.Name())
+	}
+	if err := m.Validate(p.NumTiles()); err != nil {
+		t.Fatalf("%s returned invalid mapping: %v", s.Name(), err)
+	}
+	return m, sc
+}
+
+func TestNewAndNames(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := New("quantum"); err == nil {
+		t.Error("New accepted unknown algorithm")
+	}
+	if len(PaperNames()) != 3 {
+		t.Errorf("PaperNames = %v", PaperNames())
+	}
+}
+
+func TestAllAlgorithmsRespectBudget(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	for _, name := range Names() {
+		s, _ := New(name)
+		ctx, err := core.NewContext(p, rand.New(rand.NewSource(11)), 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Search(ctx); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if ctx.Evals() > 120 {
+			t.Errorf("%s spent %d evals, budget 120", name, ctx.Evals())
+		}
+		if _, _, ok := ctx.Best(); !ok {
+			t.Errorf("%s produced no result", name)
+		}
+	}
+}
+
+func TestExhaustiveFindsOptimumOnTiny(t *testing.T) {
+	for _, obj := range []core.Objective{core.MinimizeLoss, core.MaximizeSNR} {
+		p := tinyProblem(t, obj)
+		if got := MappingCount(4, 4); got != 24 {
+			t.Fatalf("MappingCount(4,4) = %d, want 24", got)
+		}
+		_, exact := runAlgo(t, Exhaustive{}, p, 1000, 1)
+		// No random mapping may beat the exhaustive optimum.
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			m, err := core.RandomMapping(rng, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := p.Evaluate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Better(exact) {
+				t.Fatalf("obj %v: random mapping %v (cost %v) beats exhaustive (cost %v)",
+					obj, m, s.Cost, exact.Cost)
+			}
+		}
+	}
+}
+
+func TestHeuristicsReachOptimumOnTiny(t *testing.T) {
+	p := tinyProblem(t, core.MinimizeLoss)
+	_, exact := runAlgo(t, Exhaustive{}, p, 1000, 1)
+	for _, name := range []string{"ga", "rpbla", "sa", "tabu"} {
+		s, _ := New(name)
+		_, got := runAlgo(t, s, p, 600, 7)
+		if exact.Better(got) {
+			t.Errorf("%s cost %v did not reach optimum %v on 24-point space", name, got.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestMappingCountOverflowCapped(t *testing.T) {
+	if got := MappingCount(64, 64); got != uint64(1)<<62 {
+		t.Errorf("MappingCount(64,64) = %d, want cap", got)
+	}
+	if got := MappingCount(1, 5); got != 5 {
+		t.Errorf("MappingCount(1,5) = %d, want 5", got)
+	}
+}
+
+func TestRSMatchesBestOfRandomStream(t *testing.T) {
+	// RS with budget B must equal the best of the first B random
+	// mappings drawn from the same seed.
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	const budget = 60
+	_, rsScore := runAlgo(t, RS{}, p, budget, 13)
+
+	rng := rand.New(rand.NewSource(13))
+	best := core.InfCost()
+	for i := 0; i < budget; i++ {
+		m, err := core.RandomMapping(rng, p.NumTasks(), p.NumTiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Better(best) {
+			best = s
+		}
+	}
+	if rsScore.Cost != best.Cost {
+		t.Errorf("RS best %v != stream best %v", rsScore.Cost, best.Cost)
+	}
+}
+
+func TestGAValidation(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	bad := []*GA{
+		{PopSize: 1, Elite: 0, TournamentK: 2, CrossoverRate: 0.5, MutationRate: 0.5},
+		{PopSize: 10, Elite: 10, TournamentK: 2, CrossoverRate: 0.5, MutationRate: 0.5},
+		{PopSize: 10, Elite: 1, TournamentK: 0, CrossoverRate: 0.5, MutationRate: 0.5},
+		{PopSize: 10, Elite: 1, TournamentK: 2, CrossoverRate: 1.5, MutationRate: 0.5},
+		{PopSize: 10, Elite: 1, TournamentK: 2, CrossoverRate: 0.5, MutationRate: -0.1},
+	}
+	for i, g := range bad {
+		ctx, _ := core.NewContext(p, rand.New(rand.NewSource(1)), 10)
+		if err := g.Search(ctx); err == nil {
+			t.Errorf("bad GA config %d accepted", i)
+		}
+	}
+}
+
+func TestPMXProducesPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		a := make([]topo.TileID, n)
+		b := make([]topo.TileID, n)
+		for i, v := range rng.Perm(n) {
+			a[i] = topo.TileID(v)
+		}
+		for i, v := range rng.Perm(n) {
+			b[i] = topo.TileID(v)
+		}
+		child := pmx(rng, a, b)
+		seen := make([]bool, n)
+		for _, v := range child {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("pmx produced non-permutation %v from %v x %v", child, a, b)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGABeatsRSOnVOPD(t *testing.T) {
+	// The paper's central comparative claim, scaled down: under an equal
+	// modest budget, GA finds a better SNR mapping than RS on VOPD/4x4.
+	p := problem(t, "VOPD", 4, 4, core.MaximizeSNR)
+	const budget = 1500
+	_, rsScore := runAlgo(t, RS{}, p, budget, 21)
+	_, gaScore := runAlgo(t, NewGA(), p.Clone(), budget, 21)
+	if !gaScore.Better(rsScore) {
+		t.Errorf("GA (cost %v) did not beat RS (cost %v)", gaScore.Cost, rsScore.Cost)
+	}
+}
+
+func TestRPBLAImprovesOverItsStart(t *testing.T) {
+	p := problem(t, "MWD", 4, 4, core.MinimizeLoss)
+	ctx, err := core.NewContext(p, rand.New(rand.NewSource(31)), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first core.Score
+	gotFirst := false
+	ctx.OnImprove = func(evals int, s core.Score) {
+		if !gotFirst {
+			first, gotFirst = s, true
+		}
+	}
+	if err := NewRPBLA().Search(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, final, _ := ctx.Best()
+	if !gotFirst {
+		t.Fatal("no improvement events recorded")
+	}
+	if !final.Better(first) && final != first {
+		t.Errorf("R-PBLA final %v worse than first sample %v", final.Cost, first.Cost)
+	}
+	if final.Cost > first.Cost {
+		t.Errorf("R-PBLA regressed: %v -> %v", first.Cost, final.Cost)
+	}
+}
+
+func TestRPBLARejectsNegativeRounds(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	ctx, _ := core.NewContext(p, rand.New(rand.NewSource(1)), 10)
+	r := &RPBLA{MaxRounds: -1}
+	if err := r.Search(ctx); err == nil {
+		t.Error("accepted negative MaxRounds")
+	}
+}
+
+func TestSAValidation(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	bad := []*SA{
+		{InitialAcceptance: 0, FinalTempFactor: 0.1, CalibrationSamples: 4},
+		{InitialAcceptance: 0.5, FinalTempFactor: 1.5, CalibrationSamples: 4},
+		{InitialAcceptance: 0.5, FinalTempFactor: 0.1, CalibrationSamples: 1},
+	}
+	for i, s := range bad {
+		ctx, _ := core.NewContext(p, rand.New(rand.NewSource(1)), 10)
+		if err := s.Search(ctx); err == nil {
+			t.Errorf("bad SA config %d accepted", i)
+		}
+	}
+}
+
+func TestTabuEscapesLocalMinimum(t *testing.T) {
+	// Tabu with a full-neighborhood budget must at least match a pure
+	// greedy descent (R-PBLA with a single restart) from the same seed.
+	p := problem(t, "MPEG-4", 4, 4, core.MaximizeSNR)
+	_, tabuScore := runAlgo(t, NewTabu(), p, 3000, 17)
+	_, rpblaScore := runAlgo(t, &RPBLA{MaxRounds: 1}, p.Clone(), 3000, 17)
+	// Not a strict ordering theorem, but with these budgets tabu should
+	// never be dramatically worse; guard against implementation bugs
+	// that lose the incumbent.
+	if tabuScore.Cost > rpblaScore.Cost+3.0 {
+		t.Errorf("tabu (%v) much worse than single greedy descent (%v)", tabuScore.Cost, rpblaScore.Cost)
+	}
+}
+
+func TestSearchersDeterministic(t *testing.T) {
+	p := problem(t, "263enc_mp3enc", 4, 4, core.MaximizeSNR)
+	for _, name := range Names() {
+		if name == "exhaustive" {
+			continue // deterministic by construction, too slow here
+		}
+		s1, _ := New(name)
+		s2, _ := New(name)
+		_, r1 := runAlgo(t, s1, p, 400, 5)
+		_, r2 := runAlgo(t, s2, p.Clone(), 400, 5)
+		if r1 != r2 {
+			t.Errorf("%s: same seed, different results (%+v vs %+v)", name, r1, r2)
+		}
+	}
+}
+
+func TestAdmittedMovesCoverRelocations(t *testing.T) {
+	// 3 tasks on 4 tiles: moves must include task-task swaps and moves
+	// to the free tile, but never the (empty, empty) pair.
+	m := core.Mapping{0, 1, 2}
+	sl := newSlots(m, 4)
+	moves := admittedMoves(sl)
+	// Tile pairs: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) — all admitted
+	// because tile 3 is the only empty one.
+	if len(moves) != 6 {
+		t.Fatalf("admitted moves = %d, want 6", len(moves))
+	}
+	m2 := core.Mapping{0}
+	sl2 := newSlots(m2, 4)
+	moves2 := admittedMoves(sl2)
+	// Only pairs touching tile 0 are admitted: (0,1),(0,2),(0,3).
+	if len(moves2) != 3 {
+		t.Fatalf("admitted moves = %d, want 3", len(moves2))
+	}
+}
+
+func TestSlotsSwapKeepsMappingInSync(t *testing.T) {
+	m := core.Mapping{0, 2}
+	sl := newSlots(m, 4)
+	sl.swapTiles(0, 1) // move task 0 to tile 1
+	if sl.mapping[0] != 1 || sl.taskOf[1] != 0 || sl.taskOf[0] != -1 {
+		t.Errorf("after move: mapping %v taskOf %v", sl.mapping, sl.taskOf)
+	}
+	sl.swapTiles(1, 2) // swap tasks 0 and 1
+	if sl.mapping[0] != 2 || sl.mapping[1] != 1 {
+		t.Errorf("after swap: mapping %v", sl.mapping)
+	}
+	if err := sl.mapping.Validate(4); err != nil {
+		t.Errorf("slots broke injectivity: %v", err)
+	}
+	sl.reset(core.Mapping{3, 0})
+	if sl.taskOf[3] != 0 || sl.taskOf[0] != 1 || sl.taskOf[1] != -1 {
+		t.Errorf("reset wrong: %v", sl.taskOf)
+	}
+}
+
+func TestMemeticValidation(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	bad := []*Memetic{
+		{GA: nil, RefineMoves: 10},
+		{GA: NewGA(), RefineMoves: 0},
+		{GA: &GA{PopSize: 1}, RefineMoves: 10},
+	}
+	for i, m := range bad {
+		ctx, _ := core.NewContext(p, rand.New(rand.NewSource(1)), 10)
+		if err := m.Search(ctx); err == nil {
+			t.Errorf("bad memetic config %d accepted", i)
+		}
+	}
+}
+
+func TestMemeticCompetitiveWithGA(t *testing.T) {
+	// On the dense MPEG-4 the memetic hybrid must at least match plain
+	// GA under the same budget and seed.
+	p := problem(t, "MPEG-4", 4, 4, core.MaximizeSNR)
+	const budget = 2500
+	_, gaScore := runAlgo(t, NewGA(), p, budget, 19)
+	_, memScore := runAlgo(t, NewMemetic(), p.Clone(), budget, 19)
+	if gaScore.Cost < memScore.Cost-2.0 {
+		t.Errorf("memetic (%v) much worse than GA (%v)", memScore.Cost, gaScore.Cost)
+	}
+}
+
+func TestBudgetSliceRestores(t *testing.T) {
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	ctx, err := core.NewContext(p, rand.New(rand.NewSource(3)), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ctx.WithBudgetSlice(10, func(c *core.Context) error {
+		for i := 0; i < 50; i++ {
+			if _, ok, err := c.Evaluate(c.RandomMapping()); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Evals() != 10 {
+		t.Errorf("slice allowed %d evals, want 10", ctx.Evals())
+	}
+	if ctx.Remaining() != 90 {
+		t.Errorf("Remaining = %d after slice, want 90", ctx.Remaining())
+	}
+	if err := ctx.WithBudgetSlice(-1, func(*core.Context) error { return nil }); err == nil {
+		t.Error("accepted negative slice")
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats provides the streaming summaries, histograms and
+// empirical distributions used to regenerate the paper's Figure 3
+// (probability distribution of SNR and power loss over 100 000 random
+// mappings) and to report optimizer comparisons.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count, extremes, mean and variance of a stream of
+// values using Welford's online algorithm. The zero value is ready to use.
+// Infinite values are counted separately and excluded from the moments so
+// that +Inf SNRs (no crosstalk) do not destroy the statistics.
+type Summary struct {
+	n        int
+	infs     int
+	min, max float64
+	mean, m2 float64
+}
+
+// Add incorporates a value.
+func (s *Summary) Add(v float64) {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		s.infs++
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count returns the number of finite values observed.
+func (s *Summary) Count() int { return s.n }
+
+// NonFinite returns the number of infinite or NaN values observed.
+func (s *Summary) NonFinite() int { return s.infs }
+
+// Min returns the smallest finite value (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest finite value (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Mean returns the arithmetic mean of the finite values.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance of the finite values.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f mean=%.3f max=%.3f sd=%.3f", s.n, s.min, s.mean, s.max, s.StdDev())
+}
+
+// Histogram counts values into uniform bins over [Lo, Hi). Out-of-range
+// values land in the Below/Above overflow counters; non-finite values in
+// NonFinite.
+type Histogram struct {
+	lo, hi    float64
+	bins      []int
+	below     int
+	above     int
+	nonFinite int
+	total     int
+}
+
+// NewHistogram creates a histogram of n uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", n)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, n)}, nil
+}
+
+// Add incorporates a value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		h.nonFinite++
+	case v < h.lo:
+		h.below++
+	case v >= h.hi:
+		h.above++
+	default:
+		idx := int(float64(len(h.bins)) * (v - h.lo) / (h.hi - h.lo))
+		if idx == len(h.bins) { // guard the v == hi-epsilon float edge
+			idx--
+		}
+		h.bins[idx]++
+	}
+}
+
+// Total returns the number of values added, including overflow and
+// non-finite ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Below and Above return the overflow counts; NonFinite the Inf/NaN count.
+func (h *Histogram) Below() int     { return h.below }
+func (h *Histogram) Above() int     { return h.above }
+func (h *Histogram) NonFinite() int { return h.nonFinite }
+
+// NumBins returns the bin count.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCount returns the number of values in bin i.
+func (h *Histogram) BinCount(i int) int { return h.bins[i] }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + w*(float64(i)+0.5)
+}
+
+// Probabilities returns the per-bin empirical probabilities (counts over
+// total in-range values). Empty histograms return all zeros.
+func (h *Histogram) Probabilities() []float64 {
+	probs := make([]float64, len(h.bins))
+	inRange := 0
+	for _, c := range h.bins {
+		inRange += c
+	}
+	if inRange == 0 {
+		return probs
+	}
+	for i, c := range h.bins {
+		probs[i] = float64(c) / float64(inRange)
+	}
+	return probs
+}
+
+// ASCII renders the histogram as fixed-width rows, one per bin:
+// "center | bar | probability". Width is the maximum bar length.
+func (h *Histogram) ASCII(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	probs := h.Probabilities()
+	maxP := 0.0
+	for _, p := range probs {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	var b strings.Builder
+	for i, p := range probs {
+		barLen := 0
+		if maxP > 0 {
+			barLen = int(math.Round(p / maxP * float64(width)))
+		}
+		fmt.Fprintf(&b, "%9.2f | %-*s | %.4f\n", h.BinCenter(i), width, strings.Repeat("#", barLen), p)
+	}
+	return b.String()
+}
+
+// ECDF is an empirical cumulative distribution built from stored samples.
+type ECDF struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends a finite sample; non-finite values are ignored.
+func (e *ECDF) Add(v float64) {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return
+	}
+	e.values = append(e.values, v)
+	e.sorted = false
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.values) }
+
+func (e *ECDF) sort() {
+	if !e.sorted {
+		sort.Float64s(e.values)
+		e.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest-rank; false
+// when empty or q out of range.
+func (e *ECDF) Quantile(q float64) (float64, bool) {
+	if len(e.values) == 0 || q < 0 || q > 1 {
+		return 0, false
+	}
+	e.sort()
+	idx := int(math.Ceil(q*float64(len(e.values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.values[idx], true
+}
+
+// At returns the empirical P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.values) == 0 {
+		return 0
+	}
+	e.sort()
+	return float64(sort.SearchFloat64s(e.values, math.Nextafter(x, math.Inf(1)))) / float64(len(e.values))
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummaryIgnoresNonFinite(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(math.Inf(1))
+	s.Add(math.NaN())
+	s.Add(3)
+	if s.Count() != 2 || s.NonFinite() != 2 {
+		t.Errorf("Count=%d NonFinite=%d", s.Count(), s.NonFinite())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v, want 2", s.Mean())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Variance() != 0 || s.Count() != 0 {
+		t.Error("empty summary not zeroed")
+	}
+	s.Add(5)
+	if s.Min() != 5 || s.Max() != 5 || s.Mean() != 5 || s.Variance() != 0 {
+		t.Error("single-value summary wrong")
+	}
+}
+
+// Property: mean stays within [min, max] for any finite stream.
+func TestSummaryMeanBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			s.Add(math.Mod(v, 1e6))
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 10); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Add(v)
+	}
+	h.Add(-1)          // below
+	h.Add(10)          // above (hi is exclusive)
+	h.Add(math.Inf(1)) // non-finite
+	wantBins := []int{2, 1, 1, 0, 1}
+	for i, want := range wantBins {
+		if got := h.BinCount(i); got != want {
+			t.Errorf("bin %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Below() != 1 || h.Above() != 1 || h.NonFinite() != 1 {
+		t.Errorf("overflow: below=%d above=%d nonfinite=%d", h.Below(), h.Above(), h.NonFinite())
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.NumBins() != 5 {
+		t.Errorf("NumBins = %d", h.NumBins())
+	}
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Errorf("centers: %v, %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramProbabilitiesSumToOne(t *testing.T) {
+	h, _ := NewHistogram(-5, 5, 7)
+	for i := 0; i < 1000; i++ {
+		h.Add(-5 + 10*float64(i)/1000)
+	}
+	sum := 0.0
+	for _, p := range h.Probabilities() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probability sum = %v", sum)
+	}
+}
+
+func TestHistogramEmptyProbabilities(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	for _, p := range h.Probabilities() {
+		if p != 0 {
+			t.Error("empty histogram has non-zero probability")
+		}
+	}
+	if out := h.ASCII(20); len(out) == 0 {
+		t.Error("ASCII of empty histogram is empty")
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1.5)
+	h.Add(3)
+	out := h.ASCII(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ASCII lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("densest bin not full-width: %q", lines[0])
+	}
+	// Default width on nonsense input.
+	if h.ASCII(0) == "" {
+		t.Error("ASCII(0) empty")
+	}
+}
+
+func TestECDFQuantiles(t *testing.T) {
+	var e ECDF
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		e.Add(v)
+	}
+	e.Add(math.Inf(1)) // ignored
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", e.Len())
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {1, 5},
+	}
+	for _, c := range cases {
+		got, ok := e.Quantile(c.q)
+		if !ok || got != c.want {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", c.q, got, ok, c.want)
+		}
+	}
+	if _, ok := e.Quantile(-0.1); ok {
+		t.Error("accepted negative quantile")
+	}
+	var empty ECDF
+	if _, ok := empty.Quantile(0.5); ok {
+		t.Error("empty ECDF returned a quantile")
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	var e ECDF
+	for v := 1.0; v <= 10; v++ {
+		e.Add(v)
+	}
+	if got := e.At(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(5) = %v, want 0.5", got)
+	}
+	if got := e.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := e.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	var empty ECDF
+	if empty.At(1) != 0 {
+		t.Error("empty ECDF At != 0")
+	}
+}

@@ -1,0 +1,123 @@
+// Package viz renders mappings and link usage as fixed-width text for
+// terminal inspection: the placement grid shows which task sits on which
+// tile, and the usage table shows how many communications each physical
+// link carries — the first thing to look at when a mapping's worst-case
+// SNR is dominated by a hotspot.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/topo"
+)
+
+// MappingGrid renders the placement of tasks on a grid topology, one
+// cell per tile, with task names truncated to fit. Unoccupied tiles show
+// a dot.
+func MappingGrid(g *topo.Grid, app *cg.Graph, m core.Mapping) (string, error) {
+	if err := m.Validate(g.NumTiles()); err != nil {
+		return "", err
+	}
+	if len(m) != app.NumTasks() {
+		return "", fmt.Errorf("viz: mapping covers %d tasks, app has %d", len(m), app.NumTasks())
+	}
+	const cell = 12
+	taskOf := make([]int, g.NumTiles())
+	for i := range taskOf {
+		taskOf[i] = -1
+	}
+	for task, tile := range m {
+		taskOf[tile] = task
+	}
+	var b strings.Builder
+	hline := strings.Repeat("+"+strings.Repeat("-", cell), g.Width()) + "+\n"
+	for y := 0; y < g.Height(); y++ {
+		b.WriteString(hline)
+		for x := 0; x < g.Width(); x++ {
+			tile, _ := g.TileAt(x, y)
+			label := "."
+			if task := taskOf[tile]; task >= 0 {
+				label = app.TaskName(cg.TaskID(task))
+				if len(label) > cell-2 {
+					label = label[:cell-2]
+				}
+			}
+			fmt.Fprintf(&b, "|%-*s", cell, " "+label)
+		}
+		b.WriteString("|\n")
+		for x := 0; x < g.Width(); x++ {
+			tile, _ := g.TileAt(x, y)
+			fmt.Fprintf(&b, "|%-*s", cell, fmt.Sprintf(" t%d", tile))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString(hline)
+	return b.String(), nil
+}
+
+// LinkLoad is the number of mapped communications traversing one link.
+type LinkLoad struct {
+	Link  topo.Link
+	Count int
+}
+
+// LinkUsage computes how many communications of the mapped application
+// traverse each physical link, sorted by decreasing count then by source
+// tile. Links carrying no traffic are omitted.
+func LinkUsage(nw *network.Network, app *cg.Graph, m core.Mapping) ([]LinkLoad, error) {
+	if err := m.Validate(nw.NumTiles()); err != nil {
+		return nil, err
+	}
+	if len(m) != app.NumTasks() {
+		return nil, fmt.Errorf("viz: mapping covers %d tasks, app has %d", len(m), app.NumTasks())
+	}
+	t := nw.Topology()
+	counts := make(map[[2]int]int)
+	for _, e := range app.Edges() {
+		links, err := nw.Routing().Route(t, m[e.Src], m[e.Dst])
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range links {
+			counts[[2]int{int(l.From), int(l.Dir)}]++
+		}
+	}
+	var loads []LinkLoad
+	for _, l := range t.Links() {
+		if c := counts[[2]int{int(l.From), int(l.Dir)}]; c > 0 {
+			loads = append(loads, LinkLoad{Link: l, Count: c})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Count != loads[j].Count {
+			return loads[i].Count > loads[j].Count
+		}
+		if loads[i].Link.From != loads[j].Link.From {
+			return loads[i].Link.From < loads[j].Link.From
+		}
+		return loads[i].Link.Dir < loads[j].Link.Dir
+	})
+	return loads, nil
+}
+
+// FormatLinkUsage renders the top-n link loads as a table; n <= 0 shows
+// all.
+func FormatLinkUsage(loads []LinkLoad, n int) string {
+	if n <= 0 || n > len(loads) {
+		n = len(loads)
+	}
+	var b strings.Builder
+	for _, l := range loads[:n] {
+		fmt.Fprintf(&b, "  tile %2d -%s-> tile %2d : %d communication(s)\n",
+			l.Link.From, l.Link.Dir, l.Link.To, l.Count)
+	}
+	if b.Len() == 0 {
+		b.WriteString("  (no traffic)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/route"
+	"phonocmap/internal/router"
+	"phonocmap/internal/topo"
+)
+
+func fixtures(t *testing.T) (*topo.Grid, *network.Network, *cg.Graph) {
+	t.Helper()
+	g, err := topo.NewMesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := network.New(g, router.Crux(), route.XY{}, photonic.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, nw, cg.MustApp("PIP")
+}
+
+func TestMappingGrid(t *testing.T) {
+	g, _, app := fixtures(t)
+	m := core.IdentityMapping(app.NumTasks())
+	out, err := MappingGrid(g, app, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task name (possibly truncated) appears once; tile 8 is free.
+	for i := 0; i < app.NumTasks(); i++ {
+		name := app.TaskName(cg.TaskID(i))
+		if len(name) > 10 {
+			name = name[:10]
+		}
+		if !strings.Contains(out, name) {
+			t.Errorf("grid missing task %q", name)
+		}
+	}
+	if !strings.Contains(out, " .") {
+		t.Error("grid missing empty-tile marker")
+	}
+	if !strings.Contains(out, "t8") {
+		t.Error("grid missing tile label t8")
+	}
+	// 3 rows x 2 lines + 4 horizontal rules.
+	if got := strings.Count(out, "\n"); got != 10 {
+		t.Errorf("grid has %d lines, want 10", got)
+	}
+}
+
+func TestMappingGridErrors(t *testing.T) {
+	g, _, app := fixtures(t)
+	if _, err := MappingGrid(g, app, core.Mapping{0, 1}); err == nil {
+		t.Error("accepted short mapping")
+	}
+	bad := core.IdentityMapping(app.NumTasks())
+	bad[0] = bad[1]
+	if _, err := MappingGrid(g, app, bad); err == nil {
+		t.Error("accepted duplicate mapping")
+	}
+}
+
+func TestLinkUsage(t *testing.T) {
+	_, nw, app := fixtures(t)
+	m := core.IdentityMapping(app.NumTasks())
+	loads, err := LinkUsage(nw, app, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) == 0 {
+		t.Fatal("no loaded links")
+	}
+	total := 0
+	prev := loads[0].Count
+	for _, l := range loads {
+		if l.Count <= 0 {
+			t.Errorf("zero-count load reported: %+v", l)
+		}
+		if l.Count > prev {
+			t.Error("loads not sorted by count")
+		}
+		prev = l.Count
+		total += l.Count
+	}
+	// Total link traversals equal the sum of hop counts over all edges.
+	wantTotal := 0
+	for _, e := range app.Edges() {
+		wantTotal += nw.Path(m[e.Src], m[e.Dst]).Hops
+	}
+	if total != wantTotal {
+		t.Errorf("total traversals %d, want %d", total, wantTotal)
+	}
+}
+
+func TestFormatLinkUsage(t *testing.T) {
+	_, nw, app := fixtures(t)
+	m := core.IdentityMapping(app.NumTasks())
+	loads, err := LinkUsage(nw, app, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatLinkUsage(loads, 3)
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("top-3 output has %d lines", got)
+	}
+	all := FormatLinkUsage(loads, 0)
+	if got := strings.Count(all, "\n"); got != len(loads) {
+		t.Errorf("full output has %d lines, want %d", got, len(loads))
+	}
+	if FormatLinkUsage(nil, 5) != "  (no traffic)\n" {
+		t.Error("empty loads not handled")
+	}
+}

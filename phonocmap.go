@@ -1,0 +1,324 @@
+// Package phonocmap is a Go implementation of PhoNoCMap (Fusella &
+// Cilardo, DATE 2016): a design-space-exploration tool that maps
+// application tasks onto the tiles of a photonic network-on-chip so that
+// the worst-case insertion loss or the worst-case crosstalk
+// signal-to-noise ratio is optimized.
+//
+// The package is a thin facade over the building blocks in internal/:
+// communication graphs (internal/cg), topologies (internal/topo), routing
+// (internal/route), photonic element physics (internal/photonic), optical
+// router microarchitectures (internal/router), the network model
+// (internal/network), worst-case physical analysis (internal/analysis),
+// the mapping problem and DSE engine (internal/core) and the search
+// algorithms (internal/search).
+//
+// Quick start:
+//
+//	app := phonocmap.MustApp("VOPD")
+//	net, _ := phonocmap.NewMeshNetwork(4, 4)
+//	prob, _ := phonocmap.NewProblem(app, net, phonocmap.MaximizeSNR)
+//	res, _ := phonocmap.Optimize(prob, "rpbla", 20000, 1)
+//	fmt.Printf("worst-case SNR: %.2f dB\n", res.Score.WorstSNRDB)
+package phonocmap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+	"phonocmap/internal/power"
+	"phonocmap/internal/robust"
+	"phonocmap/internal/router"
+	"phonocmap/internal/search"
+	"phonocmap/internal/sim"
+	"phonocmap/internal/topo"
+	"phonocmap/internal/wdm"
+)
+
+// Re-exported core types. The facade aliases rather than wraps so that
+// advanced users can drop to the internal packages without conversions.
+type (
+	// Graph is an application communication graph (Definition 1).
+	Graph = cg.Graph
+	// TaskID identifies a task within a Graph.
+	TaskID = cg.TaskID
+	// TileID identifies a tile of the topology.
+	TileID = topo.TileID
+	// Network is a concrete photonic NoC instance.
+	Network = network.Network
+	// Mapping assigns task i to tile Mapping[i] (the function Omega).
+	Mapping = core.Mapping
+	// Problem is one (application, network, objective) instance.
+	Problem = core.Problem
+	// Objective selects worst-case loss or worst-case SNR optimization.
+	Objective = core.Objective
+	// Score is the evaluation of one mapping.
+	Score = core.Score
+	// RunResult records one optimization run.
+	RunResult = core.RunResult
+	// Params is the photonic coefficient set of Table I.
+	Params = photonic.Params
+	// ArchSpec is the declarative architecture description.
+	ArchSpec = config.ArchSpec
+	// AppSpec is the declarative application description.
+	AppSpec = config.AppSpec
+	// Experiment is a declarative experiment description.
+	Experiment = config.Experiment
+	// SimConfig parameterizes the circuit-switched traffic simulator.
+	SimConfig = sim.Config
+	// SimStats summarizes one simulation run.
+	SimStats = sim.Stats
+	// PowerBudget holds the laser/detector technology constants of the
+	// optical power feasibility analysis.
+	PowerBudget = power.Budget
+	// PowerReport is the feasibility assessment of one design point.
+	PowerReport = power.Report
+	// WDMAssignment is a wavelength-channel allocation for a mapped
+	// application.
+	WDMAssignment = wdm.Assignment
+	// ParetoPoint is one non-dominated (loss, SNR) mapping.
+	ParetoPoint = core.ParetoPoint
+	// VariationResult summarizes mapping robustness to photonic
+	// parameter variation.
+	VariationResult = robust.VariationResult
+	// FailureResult records a mapping's metrics under one link failure.
+	FailureResult = robust.FailureResult
+)
+
+// Objective values.
+const (
+	MinimizeLoss = core.MinimizeLoss
+	MaximizeSNR  = core.MaximizeSNR
+	// MinimizeWeightedLoss optimizes bandwidth-weighted mean loss.
+	MinimizeWeightedLoss = core.MinimizeWeightedLoss
+)
+
+// Apps returns the names of the eight bundled benchmark applications.
+func Apps() []string { return cg.AppNames() }
+
+// App returns a bundled benchmark application by name.
+func App(name string) (*Graph, error) { return cg.App(name) }
+
+// MustApp is App that panics on unknown names.
+func MustApp(name string) *Graph { return cg.MustApp(name) }
+
+// Algorithms returns the names of the available mapping optimization
+// algorithms, the paper's three first.
+func Algorithms() []string { return search.Names() }
+
+// DefaultParams returns the Table I photonic coefficients.
+func DefaultParams() Params { return photonic.DefaultParams() }
+
+// NewMeshNetwork returns a w x h mesh of Crux routers with XY
+// dimension-order routing and Table I parameters — the paper's reference
+// architecture.
+func NewMeshNetwork(w, h int) (*Network, error) {
+	return config.DefaultArch(w, h).Build()
+}
+
+// NewTorusNetwork is NewMeshNetwork on a folded torus.
+func NewTorusNetwork(w, h int) (*Network, error) {
+	spec := config.DefaultArch(w, h)
+	spec.Topology = "torus"
+	return spec.Build()
+}
+
+// NewNetwork builds a network from a declarative architecture spec,
+// giving access to every built-in topology, router and routing algorithm.
+func NewNetwork(spec ArchSpec) (*Network, error) { return spec.Build() }
+
+// NewProblem binds an application to a network under an objective,
+// validating Eq. 2 (the application must fit).
+func NewProblem(app *Graph, nw *Network, obj Objective) (*Problem, error) {
+	return core.NewProblem(app, nw, obj)
+}
+
+// SquareForTasks returns the side of the smallest square mesh that fits
+// n tasks: PIP (8 tasks) -> 3, VOPD (16) -> 4, DVOPD (32) -> 6.
+func SquareForTasks(n int) int {
+	if n < 1 {
+		return 0
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	return side
+}
+
+// Optimize runs the named algorithm on the problem with the given
+// evaluation budget and seed, returning the best mapping found. All
+// algorithms are budget-fair: equal budgets reproduce the paper's
+// equal-running-time comparisons.
+func Optimize(prob *Problem, algorithm string, budget int, seed int64) (RunResult, error) {
+	s, err := search.New(algorithm)
+	if err != nil {
+		return RunResult{}, err
+	}
+	ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return ex.Run(s)
+}
+
+// Compare runs several algorithms under identical budgets (the Table II
+// protocol) and returns the results in algorithm order.
+func Compare(prob *Problem, algorithms []string, budget int, seed int64) ([]RunResult, error) {
+	ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var searchers []core.Searcher
+	for _, name := range algorithms {
+		s, err := search.New(name)
+		if err != nil {
+			return nil, err
+		}
+		searchers = append(searchers, s)
+	}
+	return ex.RunAll(searchers)
+}
+
+// RandomMapping draws a uniform valid mapping for the problem, as used by
+// the Figure 3 distribution experiment.
+func RandomMapping(prob *Problem, rng *rand.Rand) (Mapping, error) {
+	return core.RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+}
+
+// Evaluate scores an arbitrary valid mapping against the problem's
+// objective and physical models.
+func Evaluate(prob *Problem, m Mapping) (Score, error) { return prob.Evaluate(m) }
+
+// RunExperiment executes a declarative experiment description end to end.
+func RunExperiment(exp Experiment) (RunResult, error) {
+	exp.Normalize()
+	app, err := exp.App.Build()
+	if err != nil {
+		return RunResult{}, err
+	}
+	nw, err := exp.Arch.Build()
+	if err != nil {
+		return RunResult{}, err
+	}
+	obj, err := core.ParseObjective(exp.Objective)
+	if err != nil {
+		return RunResult{}, err
+	}
+	prob, err := core.NewProblem(app, nw, obj)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return Optimize(prob, exp.Algorithm, exp.Budget, exp.Seed)
+}
+
+// Routers lists the built-in optical router architectures.
+func Routers() []string { return []string{"crux", "cygnus", "crossbar"} }
+
+// RouterSummary describes a built-in router, e.g.
+// "crux: 12 rings, 4 crossings, 16 turns".
+func RouterSummary(name string) (string, error) {
+	a, err := router.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return a.Summary(), nil
+}
+
+// Topologies lists the built-in topology kinds.
+func Topologies() []string { return []string{"mesh", "torus", "ring"} }
+
+// NewCustomMesh builds a mesh with explicit die size, router and routing
+// choices — a convenience wrapper over ArchSpec for the common case.
+func NewCustomMesh(w, h int, dieCm float64, routerName, routingName string) (*Network, error) {
+	spec := ArchSpec{
+		Topology: "mesh", Width: w, Height: h,
+		DieCm: dieCm, Router: routerName, Routing: routingName,
+	}
+	return spec.Build()
+}
+
+// Simulate plays the mapped application's traffic over the network with
+// the circuit-switched discrete-event simulator (an extension beyond the
+// paper's static analysis) and returns latency/throughput statistics.
+func Simulate(nw *Network, app *Graph, m Mapping, cfg SimConfig) (SimStats, error) {
+	return sim.Run(nw, app, m, cfg)
+}
+
+// DefaultPowerBudget returns a representative chip-scale laser/detector
+// technology point for feasibility analysis.
+func DefaultPowerBudget() PowerBudget { return power.DefaultBudget() }
+
+// AssessPower evaluates the optical power feasibility of a scored
+// mapping: required laser power, nonlinearity headroom, estimated BER.
+func AssessPower(b PowerBudget, s Score) (PowerReport, error) {
+	return b.Assess(s.WorstLossDB, s.WorstSNRDB)
+}
+
+// ParetoExplore runs the named algorithm against the given objective
+// while archiving every non-dominated (worst-loss, worst-SNR) mapping it
+// evaluates, returning the final Pareto front sorted least-lossy-first.
+// Multi-objective exploration beyond the paper's single-objective runs.
+func ParetoExplore(prob *Problem, algorithm string, budget int, seed int64) ([]ParetoPoint, error) {
+	s, err := search.New(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := core.NewContext(prob, rand.New(rand.NewSource(seed)), budget)
+	if err != nil {
+		return nil, err
+	}
+	var front core.ParetoFront
+	front.Attach(ctx)
+	if err := s.Search(ctx); err != nil {
+		return nil, err
+	}
+	return front.Points(), nil
+}
+
+// AssessVariation runs a Monte Carlo robustness study of a mapping under
+// relative photonic-coefficient variation (process/thermal tolerance),
+// rebuilding the network per sample.
+func AssessVariation(nw *Network, app *Graph, m Mapping, samples int, tolerance float64, seed int64) (VariationResult, error) {
+	return robust.Variation(nw.Topology(), nw.Router(), nw.Routing(), nw.Params(), app, m, samples, tolerance, seed)
+}
+
+// AssessLinkFailures evaluates a mapping under every single-link cut with
+// BFS rerouting. Requires an all-turn router (cygnus or crossbar).
+func AssessLinkFailures(nw *Network, app *Graph, m Mapping) ([]FailureResult, error) {
+	return robust.LinkFailures(nw.Topology(), nw.Router(), nw.Params(), app, m)
+}
+
+// AllocateWavelengths colors the contention graph of a mapped
+// application, assigning each communication a WDM channel so that no two
+// conflicting communications share a wavelength (extension beyond the
+// paper's single-wavelength analysis). The channel count is a
+// mapping-dependent cost metric.
+func AllocateWavelengths(nw *Network, app *Graph, m Mapping) (WDMAssignment, error) {
+	return wdm.Allocate(nw, app, m)
+}
+
+// EvaluateWDM computes worst-case loss and SNR under a wavelength
+// assignment: only same-channel communications exchange crosstalk.
+func EvaluateWDM(nw *Network, app *Graph, m Mapping, a WDMAssignment) (WorstLossDB, WorstSNRDB float64, err error) {
+	res, err := wdm.Evaluate(nw, app, m, a)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.WorstLossDB, res.WorstSNRDB, nil
+}
+
+// Verify re-checks a run result against a fresh problem instance —
+// a guard for downstream pipelines that persist mappings.
+func Verify(prob *Problem, res RunResult) error {
+	s, err := prob.Clone().Evaluate(res.Mapping)
+	if err != nil {
+		return err
+	}
+	if s != res.Score {
+		return fmt.Errorf("phonocmap: stored score %+v does not reproduce (got %+v)", res.Score, s)
+	}
+	return nil
+}
