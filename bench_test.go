@@ -17,6 +17,7 @@ package phonocmap_test
 // Run everything with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -198,6 +199,33 @@ func BenchmarkAblationObjectiveWeighted(b *testing.B) {
 		}
 	}
 }
+
+// benchMultiSeed runs the same 4-seed multi-start search with a given
+// worker count. workers=1 serializes the islands (the sequential
+// baseline); workers=4 is the parallel islands mode. The pair tracks the
+// wall-clock speedup of OptimizeParallel across PRs:
+//
+//	go test -bench 'OptimizeSequential4Seeds|OptimizeParallel4Seeds' -benchtime 3x
+func benchMultiSeed(b *testing.B, app, algo string, workers int) {
+	prob := benchProblem(b, app, false, phonocmap.MaximizeSNR)
+	seeds := phonocmap.Seeds(1, 4)
+	const budget = 1500
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phonocmap.OptimizeParallel(context.Background(), prob, algo, budget, seeds, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeSequential4Seeds(b *testing.B) { benchMultiSeed(b, "VOPD", "rs", 1) }
+func BenchmarkOptimizeParallel4Seeds(b *testing.B)   { benchMultiSeed(b, "VOPD", "rs", 4) }
+
+// The same pair on the largest bundled app, where evaluations are most
+// expensive and parallel scaling matters most.
+func BenchmarkOptimizeSequential4SeedsDVOPD(b *testing.B) { benchMultiSeed(b, "DVOPD", "rs", 1) }
+func BenchmarkOptimizeParallel4SeedsDVOPD(b *testing.B)   { benchMultiSeed(b, "DVOPD", "rs", 4) }
 
 // BenchmarkTable2VOPDMeshMemetic covers the memetic extension algorithm.
 func BenchmarkTable2VOPDMeshMemetic(b *testing.B) { benchTable2Cell(b, "VOPD", "memetic", false) }

@@ -1,0 +1,56 @@
+// Command phonocmap-serve runs the PhoNoCMap mapping-optimization
+// service: an HTTP JSON API that accepts mapping-DSE jobs, executes them
+// on a worker pool with per-job cancellation, and caches results so
+// duplicate submissions are answered instantly.
+//
+// Usage:
+//
+//	phonocmap-serve [-addr :8080] [-workers N] [-queue 64] [-cache 256]
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/apps
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"app":{"builtin":"VOPD"},"budget":20000}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"phonocmap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue capacity")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	maxBudget := flag.Int("max-budget", 5_000_000, "largest accepted per-seed evaluation budget")
+	maxSeeds := flag.Int("max-seeds", 64, "largest accepted island count per job")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.New(service.Config{
+		Addr:      *addr,
+		Workers:   *workers,
+		QueueSize: *queue,
+		CacheSize: *cache,
+		MaxBudget: *maxBudget,
+		MaxSeeds:  *maxSeeds,
+	})
+	cfg := srv.Config()
+	log.Printf("phonocmap-serve listening on %s (%d workers, queue %d, cache %d)",
+		cfg.Addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatalf("phonocmap-serve: %v", err)
+	}
+	log.Printf("phonocmap-serve: shut down cleanly")
+}

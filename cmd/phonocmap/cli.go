@@ -1,0 +1,158 @@
+package main
+
+// Flag and argument parsing, extracted from the command handlers so it
+// is unit-testable without exercising os.Exit or running optimizations.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/search"
+	"phonocmap/internal/topo"
+)
+
+// errFlagParse marks flag-parse failures the flag package has already
+// reported to stderr, so main exits with the conventional status 2
+// without printing the error a second time.
+var errFlagParse = errors.New("flag parse error")
+
+// archFlags registers the architecture flags shared by map, eval and
+// simulate.
+type archFlags struct {
+	topology  *string
+	width     *int
+	height    *int
+	tiles     *int
+	dieCm     *float64
+	wrapCross *int
+	router    *string
+	routing   *string
+}
+
+func addArchFlags(fs *flag.FlagSet) archFlags {
+	return archFlags{
+		topology:  fs.String("topology", "mesh", "topology kind: mesh, torus or ring"),
+		width:     fs.Int("width", 0, "grid width (0 = smallest square fitting the app)"),
+		height:    fs.Int("height", 0, "grid height (0 = smallest square fitting the app)"),
+		tiles:     fs.Int("tiles", 0, "ring tile count"),
+		dieCm:     fs.Float64("die-cm", topo.DefaultDieCm, "die edge length in centimetres"),
+		wrapCross: fs.Int("wrap-crossings", 0, "waveguide crossings per torus wrap link"),
+		router:    fs.String("router", "crux", "optical router: crux, cygnus or crossbar"),
+		routing:   fs.String("routing", "xy", "routing algorithm: xy, yx or bfs"),
+	}
+}
+
+func (a archFlags) spec(app *cg.Graph) config.ArchSpec {
+	s := config.ArchSpec{
+		Topology:      *a.topology,
+		Width:         *a.width,
+		Height:        *a.height,
+		Tiles:         *a.tiles,
+		DieCm:         *a.dieCm,
+		WrapCrossings: *a.wrapCross,
+		Router:        *a.router,
+		Routing:       *a.routing,
+	}
+	s.Normalize(app.NumTasks())
+	return s
+}
+
+func loadApp(name, file string) (*cg.Graph, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -app or -app-file, not both")
+	case name != "":
+		return cg.App(name)
+	case file != "":
+		spec, err := config.LoadFile[config.AppSpec](file)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build()
+	default:
+		return nil, fmt.Errorf("an application is required: -app <name> or -app-file <json>")
+	}
+}
+
+// parseMapCommand parses the 'map' subcommand's arguments into a
+// normalized experiment description (with the built application graph,
+// so callers need not rebuild it) plus the -out path.
+func parseMapCommand(args []string) (config.Experiment, *cg.Graph, string, error) {
+	fs := flag.NewFlagSet("map", flag.ContinueOnError)
+	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
+	appFile := fs.String("app-file", "", "custom application JSON file")
+	expFile := fs.String("experiment", "", "full experiment JSON file (overrides other flags)")
+	objective := fs.String("objective", "snr", "objective: snr or loss")
+	algorithm := fs.String("algorithm", "rpbla", "algorithm: "+strings.Join(search.Names(), ", "))
+	budget := fs.Int("budget", 20000, "evaluation budget")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the result as JSON to this file")
+	arch := addArchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return config.Experiment{}, nil, "", err
+		}
+		return config.Experiment{}, nil, "", fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+
+	var exp config.Experiment
+	var g *cg.Graph
+	if *expFile != "" {
+		var err error
+		exp, err = config.LoadFile[config.Experiment](*expFile)
+		if err != nil {
+			return config.Experiment{}, nil, "", err
+		}
+		g, err = exp.App.Build()
+		if err != nil {
+			return config.Experiment{}, nil, "", err
+		}
+	} else {
+		var err error
+		g, err = loadApp(*app, *appFile)
+		if err != nil {
+			return config.Experiment{}, nil, "", err
+		}
+		exp = config.Experiment{
+			App:       config.AppSpec{Builtin: *app},
+			Arch:      arch.spec(g),
+			Objective: *objective,
+			Algorithm: *algorithm,
+			Budget:    *budget,
+			Seed:      *seed,
+		}
+		if *app == "" {
+			exp.App = config.AppSpecOf(g)
+		}
+	}
+	exp.Normalize()
+	// Resolve architecture defaults on both paths (flags already size via
+	// arch.spec, but an -experiment file may omit dimensions entirely) so
+	// the CLI accepts exactly what the service accepts.
+	exp.Arch.Normalize(g.NumTasks())
+	return exp, g, *out, nil
+}
+
+// parseMapping parses a comma-separated tile-per-task list, e.g.
+// "0,1,4,5".
+func parseMapping(s string) (core.Mapping, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-mapping is required")
+	}
+	parts := strings.Split(s, ",")
+	m := make(core.Mapping, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad mapping entry %q: %w", p, err)
+		}
+		m[i] = topo.TileID(v)
+	}
+	return m, nil
+}

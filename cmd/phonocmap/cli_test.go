@@ -1,0 +1,171 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phonocmap/internal/core"
+)
+
+func TestParseMapCommandHelp(t *testing.T) {
+	_, _, _, err := parseMapCommand([]string{"-h"})
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	// cmdMap must treat help as a clean exit, not an error.
+	if err := cmdMap([]string{"-h"}); err != nil {
+		t.Errorf("cmdMap(-h) = %v, want nil", err)
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	m, err := parseMapping("0, 1,4,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Mapping{0, 1, 4, 5}
+	if !m.Equal(want) {
+		t.Errorf("got %v, want %v", m, want)
+	}
+	for _, bad := range []string{"", "0,x,2", "1,,2"} {
+		if _, err := parseMapping(bad); err == nil {
+			t.Errorf("parseMapping(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMapCommandDefaults(t *testing.T) {
+	exp, _, out, err := parseMapCommand([]string{"-app", "VOPD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Errorf("default -out = %q, want empty", out)
+	}
+	if exp.App.Builtin != "VOPD" {
+		t.Errorf("app %+v", exp.App)
+	}
+	if exp.Arch.Topology != "mesh" || exp.Arch.Width != 4 || exp.Arch.Height != 4 {
+		t.Errorf("VOPD should default to a 4x4 mesh, got %+v", exp.Arch)
+	}
+	if exp.Arch.Router != "crux" || exp.Arch.Routing != "xy" {
+		t.Errorf("arch defaults %+v", exp.Arch)
+	}
+	if exp.Objective != "snr" || exp.Algorithm != "rpbla" || exp.Budget != 20000 || exp.Seed != 1 {
+		t.Errorf("experiment defaults %+v", exp)
+	}
+}
+
+func TestParseMapCommandFlags(t *testing.T) {
+	exp, _, out, err := parseMapCommand([]string{
+		"-app", "PIP", "-topology", "torus", "-width", "5", "-height", "3",
+		"-objective", "loss", "-algorithm", "ga", "-budget", "777", "-seed", "9",
+		"-out", "res.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "res.json" {
+		t.Errorf("out = %q", out)
+	}
+	if exp.Arch.Topology != "torus" || exp.Arch.Width != 5 || exp.Arch.Height != 3 {
+		t.Errorf("arch %+v", exp.Arch)
+	}
+	if exp.Objective != "loss" || exp.Algorithm != "ga" || exp.Budget != 777 || exp.Seed != 9 {
+		t.Errorf("experiment %+v", exp)
+	}
+}
+
+func TestParseMapCommandExperimentFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	body := `{
+	  "app": {"builtin": "MWD"},
+	  "arch": {"topology": "mesh", "width": 4, "height": 4, "router": "crux", "routing": "xy"},
+	  "objective": "loss",
+	  "algorithm": "sa",
+	  "budget": 1234
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exp, _, _, err := parseMapCommand([]string{"-experiment", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.App.Builtin != "MWD" || exp.Algorithm != "sa" || exp.Budget != 1234 {
+		t.Errorf("experiment %+v", exp)
+	}
+	if exp.Seed != 1 {
+		t.Errorf("Normalize did not default the seed: %d", exp.Seed)
+	}
+}
+
+func TestParseMapCommandExperimentFileWithoutArch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(path, []byte(`{"app": {"builtin": "VOPD"}, "objective": "snr"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exp, _, _, err := parseMapCommand([]string{"-experiment", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The arch must be resolved to the same defaults the service uses.
+	if exp.Arch.Topology != "mesh" || exp.Arch.Width != 4 || exp.Arch.Height != 4 ||
+		exp.Arch.Router != "crux" || exp.Arch.Routing != "xy" {
+		t.Errorf("experiment without arch not normalized: %+v", exp.Arch)
+	}
+	if _, err := exp.Arch.Build(); err != nil {
+		t.Errorf("normalized arch does not build: %v", err)
+	}
+}
+
+func TestParseMapCommandErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no app at all
+		{"-app", "NOPE"},                       // unknown bundled app
+		{"-app", "PIP", "-app-file", "x.json"}, // both sources
+		{"-bogus-flag"},                        // unknown flag
+		{"-experiment", "/nonexistent/exp.json"},
+	}
+	for _, args := range cases {
+		if _, _, _, err := parseMapCommand(args); err == nil {
+			t.Errorf("parseMapCommand(%v) accepted", args)
+		}
+	}
+	if _, _, _, err := parseMapCommand([]string{"-bogus-flag"}); !errors.Is(err, errFlagParse) {
+		t.Errorf("bad flag returned %v, want errFlagParse sentinel", err)
+	}
+}
+
+func TestLoadApp(t *testing.T) {
+	g, err := loadApp("PIP", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 8 {
+		t.Errorf("PIP has %d tasks, want 8", g.NumTasks())
+	}
+	if _, err := loadApp("", ""); err == nil {
+		t.Error("missing app accepted")
+	}
+	if _, err := loadApp("PIP", "file.json"); err == nil {
+		t.Error("both app sources accepted")
+	}
+	if _, err := loadApp("", "/nonexistent/app.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestArchFlagsSpecRespectsExplicitSize(t *testing.T) {
+	exp, _, _, err := parseMapCommand([]string{"-app", "DVOPD", "-width", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width fixed, height still defaults to the smallest fitting square.
+	if exp.Arch.Width != 8 || exp.Arch.Height != 6 {
+		t.Errorf("arch %dx%d, want 8x6", exp.Arch.Width, exp.Arch.Height)
+	}
+}

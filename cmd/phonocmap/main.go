@@ -15,18 +15,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"phonocmap"
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
 	"phonocmap/internal/router"
-	"phonocmap/internal/search"
 	"phonocmap/internal/topo"
 	"phonocmap/internal/viz"
 )
@@ -58,6 +56,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, errFlagParse) {
+			// The flag package already printed the error and usage.
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "phonocmap:", err)
 		os.Exit(1)
 	}
@@ -77,116 +79,15 @@ Commands:
 Run 'phonocmap <command> -h' for command flags.`)
 }
 
-// archFlags registers the architecture flags shared by map and eval.
-type archFlags struct {
-	topology  *string
-	width     *int
-	height    *int
-	tiles     *int
-	dieCm     *float64
-	wrapCross *int
-	router    *string
-	routing   *string
-}
-
-func addArchFlags(fs *flag.FlagSet) archFlags {
-	return archFlags{
-		topology:  fs.String("topology", "mesh", "topology kind: mesh, torus or ring"),
-		width:     fs.Int("width", 0, "grid width (0 = smallest square fitting the app)"),
-		height:    fs.Int("height", 0, "grid height (0 = smallest square fitting the app)"),
-		tiles:     fs.Int("tiles", 0, "ring tile count"),
-		dieCm:     fs.Float64("die-cm", topo.DefaultDieCm, "die edge length in centimetres"),
-		wrapCross: fs.Int("wrap-crossings", 0, "waveguide crossings per torus wrap link"),
-		router:    fs.String("router", "crux", "optical router: crux, cygnus or crossbar"),
-		routing:   fs.String("routing", "xy", "routing algorithm: xy, yx or bfs"),
-	}
-}
-
-func (a archFlags) spec(app *cg.Graph) config.ArchSpec {
-	w, h := *a.width, *a.height
-	if w == 0 || h == 0 {
-		side := phonocmap.SquareForTasks(app.NumTasks())
-		if w == 0 {
-			w = side
-		}
-		if h == 0 {
-			h = side
-		}
-	}
-	return config.ArchSpec{
-		Topology:      *a.topology,
-		Width:         w,
-		Height:        h,
-		Tiles:         *a.tiles,
-		DieCm:         *a.dieCm,
-		WrapCrossings: *a.wrapCross,
-		Router:        *a.router,
-		Routing:       *a.routing,
-	}
-}
-
-func loadApp(name, file string) (*cg.Graph, error) {
-	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -app or -app-file, not both")
-	case name != "":
-		return cg.App(name)
-	case file != "":
-		spec, err := config.LoadFile[config.AppSpec](file)
-		if err != nil {
-			return nil, err
-		}
-		return spec.Build()
-	default:
-		return nil, fmt.Errorf("an application is required: -app <name> or -app-file <json>")
-	}
-}
-
 func cmdMap(args []string) error {
-	fs := flag.NewFlagSet("map", flag.ExitOnError)
-	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
-	appFile := fs.String("app-file", "", "custom application JSON file")
-	expFile := fs.String("experiment", "", "full experiment JSON file (overrides other flags)")
-	objective := fs.String("objective", "snr", "objective: snr or loss")
-	algorithm := fs.String("algorithm", "rpbla", "algorithm: "+strings.Join(search.Names(), ", "))
-	budget := fs.Int("budget", 20000, "evaluation budget")
-	seed := fs.Int64("seed", 1, "random seed")
-	out := fs.String("out", "", "write the result as JSON to this file")
-	arch := addArchFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
+	exp, g, out, err := parseMapCommand(args)
+	if errors.Is(err, flag.ErrHelp) {
+		return nil // usage already printed by the flag package
 	}
-
-	var exp config.Experiment
-	if *expFile != "" {
-		var err error
-		exp, err = config.LoadFile[config.Experiment](*expFile)
-		if err != nil {
-			return err
-		}
-	} else {
-		g, err := loadApp(*app, *appFile)
-		if err != nil {
-			return err
-		}
-		exp = config.Experiment{
-			App:       config.AppSpec{Builtin: *app},
-			Arch:      arch.spec(g),
-			Objective: *objective,
-			Algorithm: *algorithm,
-			Budget:    *budget,
-			Seed:      *seed,
-		}
-		if *app == "" {
-			exp.App = config.AppSpecOf(g)
-		}
-	}
-	exp.Normalize()
-
-	g, err := exp.App.Build()
 	if err != nil {
 		return err
 	}
+
 	nw, err := exp.Arch.Build()
 	if err != nil {
 		return err
@@ -228,17 +129,17 @@ func cmdMap(args []string) error {
 		fmt.Printf("wavelengths for contention-free operation: %d (%d conflicting pairs)\n",
 			alloc.Channels, alloc.Conflicts)
 	}
-	if *out != "" {
+	if out != "" {
 		payload := struct {
 			Experiment config.Experiment `json:"experiment"`
 			Mapping    core.Mapping      `json:"mapping"`
 			Score      core.Score        `json:"score"`
 			Evals      int               `json:"evals"`
 		}{exp, res.Mapping, res.Score, res.Evals}
-		if err := config.SaveFile(*out, payload); err != nil {
+		if err := config.SaveFile(out, payload); err != nil {
 			return err
 		}
-		fmt.Printf("result written to %s\n", *out)
+		fmt.Printf("result written to %s\n", out)
 	}
 	return nil
 }
@@ -256,17 +157,9 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *mapping == "" {
-		return fmt.Errorf("-mapping is required")
-	}
-	parts := strings.Split(*mapping, ",")
-	m := make(core.Mapping, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return fmt.Errorf("bad mapping entry %q: %w", p, err)
-		}
-		m[i] = topo.TileID(v)
+	m, err := parseMapping(*mapping)
+	if err != nil {
+		return err
 	}
 	nw, err := arch.spec(g).Build()
 	if err != nil {

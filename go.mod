@@ -1,0 +1,3 @@
+module phonocmap
+
+go 1.24

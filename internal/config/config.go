@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"phonocmap/internal/cg"
@@ -112,6 +113,50 @@ type ArchSpec struct {
 // Crux routers with XY routing and Table I parameters.
 func DefaultArch(w, h int) ArchSpec {
 	return ArchSpec{Topology: "mesh", Width: w, Height: h, Router: "crux", Routing: "xy"}
+}
+
+// SquareForTasks returns the side of the smallest square grid that fits
+// n tasks: PIP (8 tasks) -> 3, VOPD (16) -> 4, DVOPD (32) -> 6.
+func SquareForTasks(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// Normalize fills the spec's defaults in place for an application of
+// numTasks tasks: the paper's reference choices (a mesh of Crux routers
+// with XY routing on the default die) sized to the smallest square — or,
+// for rings, one tile per task. The CLI and the optimization service
+// both resolve architecture defaults through this method so they cannot
+// drift apart.
+func (s *ArchSpec) Normalize(numTasks int) {
+	if s.Topology == "" {
+		s.Topology = "mesh"
+	}
+	if s.Router == "" {
+		s.Router = "crux"
+	}
+	if s.Routing == "" {
+		s.Routing = "xy"
+	}
+	if s.DieCm == 0 {
+		s.DieCm = topo.DefaultDieCm
+	}
+	switch s.Topology {
+	case "mesh", "torus":
+		side := SquareForTasks(numTasks)
+		if s.Width == 0 {
+			s.Width = side
+		}
+		if s.Height == 0 {
+			s.Height = side
+		}
+	case "ring":
+		if s.Tiles == 0 {
+			s.Tiles = numTasks
+		}
+	}
 }
 
 // Build constructs the network instance the spec describes.

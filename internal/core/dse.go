@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,6 +16,10 @@ type RunResult struct {
 	Evals     int
 	Duration  time.Duration
 	Seed      int64
+	// Cancelled marks a run that was stopped early through its
+	// cancellation context; Mapping/Score hold the best point reached
+	// before the stop.
+	Cancelled bool
 }
 
 // TracePoint is one improvement event of a run's convergence curve.
@@ -34,6 +39,22 @@ type Options struct {
 	Seed int64
 	// Trace, when true, records convergence curves.
 	Trace bool
+	// Context, when non-nil, cancels in-flight runs: once it is done no
+	// further evaluations are spent and Run returns the best point
+	// reached so far with RunResult.Cancelled set (or the context error
+	// when nothing was evaluated at all).
+	Context context.Context
+	// OnImprove, when non-nil, is called on every incumbent improvement
+	// (in addition to Trace recording).
+	OnImprove func(evals int, best Score)
+	// OnProgress, when non-nil, is called every ProgressEvery evaluations
+	// with the current incumbent — a heartbeat for long runs that may go
+	// thousands of evaluations between improvements — and once more when
+	// the run completes, with the final evaluation count.
+	OnProgress func(evals int, best Score)
+	// ProgressEvery sets the OnProgress stride; 0 means every 500
+	// evaluations.
+	ProgressEvery int
 }
 
 // Exploration is the DSE engine of the paper's architecture (Figure 1,
@@ -75,10 +96,37 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	if e.opts.Trace {
+	ctx.SetCancel(e.opts.Context)
+	if e.opts.Trace || e.opts.OnImprove != nil {
 		name := s.Name()
+		trace := e.opts.Trace
+		onImprove := e.opts.OnImprove
 		ctx.OnImprove = func(evals int, sc Score) {
-			e.traces[name] = append(e.traces[name], TracePoint{Evals: evals, Score: sc})
+			if trace {
+				e.traces[name] = append(e.traces[name], TracePoint{Evals: evals, Score: sc})
+			}
+			if onImprove != nil {
+				onImprove(evals, sc)
+			}
+		}
+	}
+	if e.opts.OnProgress != nil {
+		stride := e.opts.ProgressEvery
+		if stride <= 0 {
+			stride = 500
+		}
+		onProgress := e.opts.OnProgress
+		ctx.OnEvaluate = func(_ Mapping, sc Score) {
+			if ctx.Evals()%stride == 0 {
+				// OnEvaluate fires before the incumbent update, so fold
+				// the current evaluation in by hand to report the
+				// post-update best.
+				best, ok := ctx.BestScore()
+				if !ok || sc.Better(best) {
+					best = sc
+				}
+				onProgress(ctx.Evals(), best)
+			}
 		}
 	}
 	start := time.Now()
@@ -87,6 +135,10 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 	}
 	best, score, ok := ctx.Best()
 	if !ok {
+		if ctx.Cancelled() {
+			return RunResult{}, fmt.Errorf("core: %s cancelled before evaluating any mapping: %w",
+				s.Name(), e.opts.Context.Err())
+		}
 		return RunResult{}, fmt.Errorf("core: %s finished without evaluating any mapping", s.Name())
 	}
 	res := RunResult{
@@ -97,6 +149,14 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 		Evals:     ctx.Evals(),
 		Duration:  time.Since(start),
 		Seed:      seed,
+		// A cancellation that lands after the budget was fully spent did
+		// not truncate anything; the result is complete.
+		Cancelled: ctx.Cancelled() && ctx.Evals() < ctx.Budget(),
+	}
+	if e.opts.OnProgress != nil {
+		// Final report, so observers see the exact eval count even when
+		// the budget is not a multiple of the progress stride.
+		e.opts.OnProgress(res.Evals, res.Score)
 	}
 	e.results = append(e.results, res)
 	return res, nil

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// countingSearcher evaluates random mappings until the context refuses,
+// like RS, and lets tests observe how far it got.
+type countingSearcher struct{ evals int }
+
+func (c *countingSearcher) Name() string { return "counting" }
+
+func (c *countingSearcher) Search(ctx *Context) error {
+	for !ctx.Exhausted() {
+		if _, ok, err := ctx.Evaluate(ctx.RandomMapping()); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+		c.evals++
+	}
+	return nil
+}
+
+func TestRunCancelledMidway(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	cctx, cancel := context.WithCancel(context.Background())
+	const budget = 10_000
+	const stopAfter = 50
+	ex, err := NewExploration(prob, Options{
+		Budget:        budget,
+		Seed:          1,
+		Context:       cctx,
+		ProgressEvery: 1,
+		OnProgress: func(evals int, _ Score) {
+			if evals >= stopAfter {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &countingSearcher{}
+	res, err := ex.Run(s)
+	if err != nil {
+		t.Fatalf("cancelled run with results should not error: %v", err)
+	}
+	if !res.Cancelled {
+		t.Error("RunResult.Cancelled not set")
+	}
+	if res.Evals >= budget {
+		t.Errorf("cancellation did not stop the run: %d evals of %d budget", res.Evals, budget)
+	}
+	if res.Evals < stopAfter {
+		t.Errorf("run stopped before the cancellation point: %d evals", res.Evals)
+	}
+	if err := res.Mapping.Validate(prob.NumTiles()); err != nil {
+		t.Errorf("partial result mapping invalid: %v", err)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex, err := NewExploration(prob, Options{Budget: 100, Seed: 1, Context: cctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(&countingSearcher{}); err == nil {
+		t.Fatal("pre-cancelled run with zero evaluations must error")
+	}
+}
+
+func TestRunOnImproveAndProgress(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	var improvements, heartbeats int
+	ex, err := NewExploration(prob, Options{
+		Budget:        200,
+		Seed:          1,
+		ProgressEvery: 10,
+		OnImprove:     func(int, Score) { improvements++ },
+		OnProgress:    func(int, Score) { heartbeats++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(&countingSearcher{}); err != nil {
+		t.Fatal(err)
+	}
+	if improvements == 0 {
+		t.Error("OnImprove never called")
+	}
+	// One call per stride plus the final completion report.
+	if heartbeats != 200/10+1 {
+		t.Errorf("OnProgress called %d times, want %d", heartbeats, 200/10+1)
+	}
+}
+
+func TestRunParallelMatchesSequentialSeeds(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	const budget = 150
+	seeds := SeedSequence(7, 4)
+
+	// Sequential reference: one fresh Exploration per seed, like the
+	// single-shot Optimize facade.
+	var seqBest Score
+	var have bool
+	for _, seed := range seeds {
+		ex, err := NewExploration(prob.Clone(), Options{Budget: budget, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ex.Run(&countingSearcher{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !have || res.Score.Better(seqBest) {
+			seqBest = res.Score
+			have = true
+		}
+	}
+
+	factory := func() (Searcher, error) { return &countingSearcher{}, nil }
+	best, all, err := RunParallel(prob, factory, ParallelOptions{
+		Budget: budget, Seeds: seeds, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(seeds) {
+		t.Fatalf("got %d island results, want %d", len(all), len(seeds))
+	}
+	if best.Score.Cost > seqBest.Cost {
+		t.Errorf("parallel best %v worse than sequential best %v", best.Score.Cost, seqBest.Cost)
+	}
+	if best.Score.Cost != seqBest.Cost {
+		t.Errorf("parallel best %v != sequential best %v (same seeds must reproduce)", best.Score.Cost, seqBest.Cost)
+	}
+	for _, r := range all {
+		if err := r.Mapping.Validate(prob.NumTiles()); err != nil {
+			t.Errorf("island %d mapping invalid: %v", r.Seed, err)
+		}
+		if r.Evals != budget {
+			t.Errorf("island seed %d spent %d evals, want %d", r.Seed, r.Evals, budget)
+		}
+	}
+}
+
+func TestRunParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	seeds := SeedSequence(3, 6)
+	factory := func() (Searcher, error) { return &countingSearcher{}, nil }
+	var ref RunResult
+	for i, workers := range []int{1, 2, 6} {
+		best, _, err := RunParallel(prob, factory, ParallelOptions{Budget: 120, Seeds: seeds, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = best
+			continue
+		}
+		if best.Score != ref.Score || best.Seed != ref.Seed || !best.Mapping.Equal(ref.Mapping) {
+			t.Errorf("workers=%d result differs from workers=1", workers)
+		}
+	}
+}
+
+func TestRunParallelCancellation(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	cctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	factory := func() (Searcher, error) { return &countingSearcher{}, nil }
+	best, _, err := RunParallel(prob, factory, ParallelOptions{
+		Budget:        1_000_000,
+		Seeds:         SeedSequence(1, 2),
+		Workers:       2,
+		Context:       cctx,
+		ProgressEvery: 1,
+		OnProgress: func(island, evals int, _ Score) {
+			if evals >= 30 {
+				once.Do(cancel)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cancelled islands run with results should not error: %v", err)
+	}
+	if !best.Cancelled {
+		t.Error("best island result not marked Cancelled")
+	}
+	if best.Evals >= 1_000_000 {
+		t.Error("cancellation did not stop the islands")
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	prob := pipProblem(t, MaximizeSNR)
+	factory := func() (Searcher, error) { return &countingSearcher{}, nil }
+	if _, _, err := RunParallel(nil, factory, ParallelOptions{Budget: 10, Seeds: []int64{1}}); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if _, _, err := RunParallel(prob, nil, ParallelOptions{Budget: 10, Seeds: []int64{1}}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, _, err := RunParallel(prob, factory, ParallelOptions{Budget: 10}); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if _, _, err := RunParallel(prob, factory, ParallelOptions{Budget: 0, Seeds: []int64{1}}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestSeedSequence(t *testing.T) {
+	got := SeedSequence(5, 3)
+	want := []int64{5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SeedSequence(5,3) = %v, want %v", got, want)
+		}
+	}
+	if s := SeedSequence(0, 2); s[0] != 1 || s[1] != 2 {
+		t.Errorf("zero base should default to 1, got %v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -31,6 +32,10 @@ type Context struct {
 	best      Mapping
 	bestScore Score
 	hasBest   bool
+	// cancel, when non-nil, aborts the run early: once it is done,
+	// Evaluate refuses further work exactly as if the budget had run out,
+	// so every Searcher winds down through its normal exhaustion path.
+	cancel context.Context
 	// OnImprove, when non-nil, is called with the evaluation count and
 	// new incumbent score each time the incumbent improves — used for
 	// convergence traces.
@@ -66,19 +71,30 @@ func (c *Context) Rng() *rand.Rand { return c.rng }
 // Budget returns the total evaluation budget.
 func (c *Context) Budget() int { return c.budget }
 
+// SetCancel attaches a cancellation context to the run. A nil ctx leaves
+// the run uncancellable (the default).
+func (c *Context) SetCancel(ctx context.Context) { c.cancel = ctx }
+
+// Cancelled reports whether the run's cancellation context is done.
+func (c *Context) Cancelled() bool {
+	return c.cancel != nil && c.cancel.Err() != nil
+}
+
 // Evals returns the number of evaluations spent so far.
 func (c *Context) Evals() int { return c.evals }
 
 // Remaining returns the unspent budget.
 func (c *Context) Remaining() int { return c.budget - c.evals }
 
-// Exhausted reports whether the budget is spent.
-func (c *Context) Exhausted() bool { return c.evals >= c.budget }
+// Exhausted reports whether the run is over: the budget is spent or the
+// run has been cancelled.
+func (c *Context) Exhausted() bool { return c.evals >= c.budget || c.Cancelled() }
 
 // Evaluate scores a mapping, spending one unit of budget. ok is false —
-// and the mapping is NOT evaluated — once the budget is exhausted.
-// Invalid mappings surface as errors; algorithms are expected to produce
-// only valid ones, so errors indicate bugs rather than search states.
+// and the mapping is NOT evaluated — once the budget is exhausted or the
+// run is cancelled. Invalid mappings surface as errors; algorithms are
+// expected to produce only valid ones, so errors indicate bugs rather
+// than search states.
 func (c *Context) Evaluate(m Mapping) (Score, bool, error) {
 	if c.Exhausted() {
 		return Score{}, false, nil
@@ -119,6 +135,11 @@ func (c *Context) WithBudgetSlice(n int, f func(*Context) error) error {
 	c.budget = old
 	return err
 }
+
+// BestScore returns the incumbent score without cloning the mapping — a
+// cheap read for progress reporting. ok is false when nothing has been
+// evaluated yet.
+func (c *Context) BestScore() (Score, bool) { return c.bestScore, c.hasBest }
 
 // Best returns the incumbent mapping and score. ok is false when nothing
 // has been evaluated yet.

@@ -1,0 +1,220 @@
+// Package service implements phonocmap-serve: a long-lived HTTP JSON
+// service that accepts mapping-DSE jobs, executes them on a bounded
+// worker pool with per-job cancellation, and caches results so duplicate
+// submissions are answered instantly.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit a job (Request) -> JobStatus
+//	GET    /v1/jobs            list known jobs        -> []JobStatus
+//	GET    /v1/jobs/{id}        job status             -> JobStatus
+//	GET    /v1/jobs/{id}/result finished result        -> JobResult
+//	GET    /v1/jobs/{id}/trace  convergence trace      -> JobTrace
+//	DELETE /v1/jobs/{id}        cancel                 -> JobStatus
+//	GET    /v1/apps            bundled applications   -> []AppInfo
+//	GET    /v1/algorithms      available algorithms   -> []string
+//	GET    /healthz            liveness + pool stats  -> Health
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/search"
+)
+
+// Request is the POST /v1/jobs payload. App is required; everything else
+// defaults like the CLI: smallest square mesh of Crux routers with XY
+// routing, SNR objective, R-PBLA, budget 20000, seed 1, single seed.
+type Request struct {
+	App       config.AppSpec  `json:"app"`
+	Arch      config.ArchSpec `json:"arch,omitempty"`
+	Objective string          `json:"objective,omitempty"`
+	Algorithm string          `json:"algorithm,omitempty"`
+	Budget    int             `json:"budget,omitempty"`
+	Seed      int64           `json:"seed,omitempty"`
+	// Seeds > 1 switches to islands mode: that many independent seeded
+	// searches (seeds Seed, Seed+1, ...) run concurrently and the best
+	// result wins.
+	Seeds int `json:"seeds,omitempty"`
+	// NoCache skips the result cache on both lookup and fill.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Spec is a fully normalized request: every default resolved, so equal
+// Specs describe identical computations. Its canonical JSON is the
+// content-addressed cache key.
+type Spec struct {
+	App       config.AppSpec  `json:"app"`
+	Arch      config.ArchSpec `json:"arch"`
+	Objective string          `json:"objective"`
+	Algorithm string          `json:"algorithm"`
+	Budget    int             `json:"budget"`
+	Seed      int64           `json:"seed"`
+	Seeds     int             `json:"seeds"`
+}
+
+// Key returns the content address of the spec: the hex SHA-256 of its
+// canonical JSON (struct field order is fixed, so encoding is stable).
+func (s Spec) Key() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is plain data; marshalling cannot fail.
+		panic("service: spec marshal failed: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Limits bounds what a single request may ask for.
+type Limits struct {
+	MaxBudget int
+	MaxSeeds  int
+}
+
+// normalize validates a request against the limits and resolves every
+// default, returning the canonical spec. Architecture defaults come from
+// config.ArchSpec.Normalize and the rest from config.Experiment.Normalize
+// — the same resolution the CLI uses, so the two fronts cannot drift
+// apart. Only the application graph is built here (cheap); the expensive
+// network/problem construction is deferred to buildProblem so cache hits
+// skip it entirely.
+func normalize(req Request, lim Limits) (Spec, error) {
+	app, err := req.App.Build()
+	if err != nil {
+		return Spec{}, err
+	}
+	arch := req.Arch
+	arch.Normalize(app.NumTasks())
+	exp := config.Experiment{
+		App:       req.App,
+		Arch:      arch,
+		Objective: req.Objective,
+		Algorithm: req.Algorithm,
+		Budget:    req.Budget,
+		Seed:      req.Seed,
+	}
+	exp.Normalize()
+	spec := Spec{
+		App:       exp.App,
+		Arch:      exp.Arch,
+		Objective: exp.Objective,
+		Algorithm: exp.Algorithm,
+		Budget:    exp.Budget,
+		Seed:      exp.Seed,
+		Seeds:     req.Seeds,
+	}
+	if spec.Seeds == 0 {
+		spec.Seeds = 1
+	}
+
+	if spec.Budget < 0 || (lim.MaxBudget > 0 && spec.Budget > lim.MaxBudget) {
+		return Spec{}, fmt.Errorf("service: budget %d out of range (1..%d)", spec.Budget, lim.MaxBudget)
+	}
+	if spec.Seeds < 0 || (lim.MaxSeeds > 0 && spec.Seeds > lim.MaxSeeds) {
+		return Spec{}, fmt.Errorf("service: seeds %d out of range (1..%d)", spec.Seeds, lim.MaxSeeds)
+	}
+	if _, err := search.New(spec.Algorithm); err != nil {
+		return Spec{}, err
+	}
+	if _, err := core.ParseObjective(spec.Objective); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// buildProblem constructs the runtime problem a normalized spec
+// describes, including the Eq. 2 fit check. The caller owns the problem
+// (it is not safe for concurrent use).
+func buildProblem(spec Spec) (*core.Problem, error) {
+	app, err := spec.App.Build()
+	if err != nil {
+		return nil, err
+	}
+	nw, err := spec.Arch.Build()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := core.ParseObjective(spec.Objective)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(app, nw, obj)
+}
+
+// JobStatus is the wire representation of a job's lifecycle state.
+type JobStatus struct {
+	ID        string      `json:"id"`
+	State     State       `json:"state"`
+	Cached    bool        `json:"cached,omitempty"`
+	Spec      Spec        `json:"spec"`
+	Submitted string      `json:"submitted,omitempty"`
+	Started   string      `json:"started,omitempty"`
+	Finished  string      `json:"finished,omitempty"`
+	Evals     int         `json:"evals"`
+	Budget    int         `json:"budget"` // total across islands
+	Best      *core.Score `json:"best,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result payload of a finished job.
+type JobResult struct {
+	ID         string       `json:"id"`
+	State      State        `json:"state"`
+	Cached     bool         `json:"cached,omitempty"`
+	Algorithm  string       `json:"algorithm"`
+	Objective  string       `json:"objective"`
+	Mapping    core.Mapping `json:"mapping"`
+	Score      core.Score   `json:"score"`
+	Evals      int          `json:"evals"`
+	DurationMs float64      `json:"duration_ms"`
+	Seed       int64        `json:"seed"`
+	Cancelled  bool         `json:"cancelled,omitempty"`
+}
+
+// TraceEvent is one incumbent improvement of one island.
+type TraceEvent struct {
+	Island int        `json:"island"`
+	Evals  int        `json:"evals"`
+	Score  core.Score `json:"score"`
+}
+
+// JobTrace is the GET /v1/jobs/{id}/trace payload.
+type JobTrace struct {
+	ID    string       `json:"id"`
+	State State        `json:"state"`
+	Trace []TraceEvent `json:"trace"`
+}
+
+// AppInfo describes one bundled benchmark application.
+type AppInfo struct {
+	Name  string `json:"name"`
+	Tasks int    `json:"tasks"`
+	Edges int    `json:"edges"`
+}
+
+// Apps lists the bundled applications for the discovery endpoint.
+func Apps() []AppInfo {
+	names := cg.AppNames()
+	out := make([]AppInfo, 0, len(names))
+	for _, name := range names {
+		g := cg.MustApp(name)
+		out = append(out, AppInfo{Name: name, Tasks: g.NumTasks(), Edges: g.NumEdges()})
+	}
+	return out
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status        string        `json:"status"`
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Jobs          map[State]int `json:"jobs"`
+	Cache         CacheStats    `json:"cache"`
+}

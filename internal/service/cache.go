@@ -1,0 +1,91 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"phonocmap/internal/core"
+)
+
+// CacheStats summarizes result-cache effectiveness for /healthz.
+type CacheStats struct {
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// cacheEntry is one cached computation: the winning run, its convergence
+// trace, and the total evaluations spent across islands, keyed by the
+// spec's content address.
+type cacheEntry struct {
+	key   string
+	res   core.RunResult
+	trace []TraceEvent
+	evals int
+}
+
+// resultCache is a bounded LRU of completed results. Optimization runs
+// are deterministic in their spec, so entries never go stale; the bound
+// only caps memory.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return core.RunResult{}, nil, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.res, e.trace, e.evals, true
+}
+
+// put stores a completed result, evicting the least recently used entry
+// when the cache is full.
+func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, evals int) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.res = res
+		e.trace = trace
+		e.evals = evals
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, evals: evals})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+}

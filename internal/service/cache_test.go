@@ -1,0 +1,75 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"phonocmap/internal/core"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	res := func(cost float64) core.RunResult {
+		return core.RunResult{Score: core.Score{Cost: cost}}
+	}
+	c.put("a", res(1), nil, 10)
+	c.put("b", res(2), nil, 20)
+	if _, _, _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", res(3), nil, 30) // evicts b (a was just touched)
+	if _, _, _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if r, _, _, ok := c.get("a"); !ok || r.Score.Cost != 1 {
+		t.Error("a lost or corrupted")
+	}
+	if r, _, _, ok := c.get("c"); !ok || r.Score.Cost != 3 {
+		t.Error("c lost or corrupted")
+	}
+	st := c.stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	c.put("a", res(10), []TraceEvent{{Evals: 1}}, 99)
+	if r, tr, ev, ok := c.get("a"); !ok || r.Score.Cost != 10 || len(tr) != 1 || ev != 99 {
+		t.Error("overwrite lost data")
+	}
+	if c.stats().Size != 2 {
+		t.Error("overwrite grew the cache")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("a", core.RunResult{}, nil, 1)
+	if _, _, _, ok := c.get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.put(key, core.RunResult{Score: core.Score{Cost: float64(i)}}, nil, i)
+				c.get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.stats().Size > 8 {
+		t.Errorf("cache exceeded capacity: %d", c.stats().Size)
+	}
+}

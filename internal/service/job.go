@@ -1,0 +1,278 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"phonocmap/internal/core"
+	"sync"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted optimization with its mutable lifecycle. The
+// worker that dequeues it is its only writer apart from cancellation;
+// HTTP handlers read snapshots under the mutex.
+type Job struct {
+	id   string
+	spec Spec
+	key  string
+
+	// prob is built at submission (validating the request) and handed to
+	// the single worker that runs the job; Problems are not safe for
+	// concurrent use, so nothing else may touch it.
+	prob *core.Problem
+
+	noCache bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	cached      bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	islandEvals []int
+	best        *core.Score
+	result      *core.RunResult
+	trace       []TraceEvent
+	errMsg      string
+}
+
+func newJob(id string, spec Spec, key string, prob *core.Problem, noCache bool, parent context.Context) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		id:          id,
+		spec:        spec,
+		key:         key,
+		prob:        prob,
+		noCache:     noCache,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submitted:   time.Now(),
+		islandEvals: make([]int, spec.Seeds),
+	}
+}
+
+// newCachedJob materializes a cache hit as an already-finished job so
+// hits and misses share one lifecycle and API shape. evals is the
+// original job's total across islands, so the replayed status reports
+// the same numbers the live run ended with.
+func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, evals int) *Job {
+	now := time.Now()
+	j := &Job{
+		id:          id,
+		spec:        spec,
+		key:         key,
+		done:        make(chan struct{}),
+		state:       StateDone,
+		cached:      true,
+		submitted:   now,
+		started:     now,
+		finished:    now,
+		islandEvals: []int{evals},
+		result:      &res,
+		trace:       trace,
+	}
+	j.best = &res.Score
+	close(j.done)
+	return j
+}
+
+// Cancel requests cancellation. A queued job flips to cancelled
+// immediately; a running job stops at its next evaluation attempt.
+func (j *Job) Cancel() {
+	if j.cancel != nil {
+		j.cancel()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.closeDoneLocked()
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning transitions queued -> running; false means the job was
+// cancelled while waiting in the queue and must not run.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// observe folds a progress callback into the job's counters.
+func (j *Job) observe(island, evals int, best core.Score) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if island >= 0 && island < len(j.islandEvals) {
+		j.islandEvals[island] = evals
+	}
+	if j.best == nil || best.Better(*j.best) {
+		b := best
+		j.best = &b
+	}
+}
+
+// improve records an incumbent improvement in the trace and counters.
+func (j *Job) improve(island, evals int, best core.Score) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if island >= 0 && island < len(j.islandEvals) {
+		j.islandEvals[island] = evals
+	}
+	if j.best == nil || best.Better(*j.best) {
+		b := best
+		j.best = &b
+	}
+	j.trace = append(j.trace, TraceEvent{Island: island, Evals: evals, Score: best})
+}
+
+// finish records the terminal state of an executed job.
+func (j *Job) finish(state State, res *core.RunResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	// The worker was the problem's only user; release the network/path
+	// tables now so finished jobs in the registry do not pin them.
+	j.prob = nil
+	if res != nil {
+		j.best = &res.Score
+	}
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.closeDoneLocked()
+}
+
+// totalEvals sums the per-island counters (falling back to the final
+// result for jobs without progress callbacks).
+func (j *Job) totalEvals() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	evals := 0
+	for _, e := range j.islandEvals {
+		evals += e
+	}
+	if j.result != nil && j.result.Evals > evals {
+		evals = j.result.Evals
+	}
+	return evals
+}
+
+func (j *Job) closeDoneLocked() {
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// currentState reads the lifecycle state under the lock.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// snapshotTrace returns a copy of the trace under the lock.
+func (j *Job) snapshotTrace() (State, []TraceEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TraceEvent, len(j.trace))
+	copy(out, j.trace)
+	return j.state, out
+}
+
+// result snapshot; ok is false when the job has no result (yet).
+func (j *Job) snapshotResult() (JobResult, State, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return JobResult{}, j.state, false
+	}
+	r := *j.result
+	return JobResult{
+		ID:         j.id,
+		State:      j.state,
+		Cached:     j.cached,
+		Algorithm:  r.Algorithm,
+		Objective:  r.Objective.String(),
+		Mapping:    r.Mapping.Clone(),
+		Score:      r.Score,
+		Evals:      r.Evals,
+		DurationMs: float64(r.Duration) / float64(time.Millisecond),
+		Seed:       r.Seed,
+		Cancelled:  r.Cancelled,
+	}, j.state, true
+}
+
+// status builds the wire status snapshot.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	evals := 0
+	for _, e := range j.islandEvals {
+		evals += e
+	}
+	if j.result != nil && j.result.Evals > evals {
+		evals = j.result.Evals
+	}
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Spec:      j.spec,
+		Submitted: rfc3339(j.submitted),
+		Started:   rfc3339(j.started),
+		Finished:  rfc3339(j.finished),
+		Evals:     evals,
+		Budget:    j.spec.Budget * max(j.spec.Seeds, 1),
+		Error:     j.errMsg,
+	}
+	if j.best != nil {
+		b := *j.best
+		st.Best = &b
+	}
+	return st
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

@@ -1,0 +1,455 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/search"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the number of jobs waiting for a worker (default
+	// 64). Submissions beyond it are rejected with 503.
+	QueueSize int
+	// CacheSize bounds the result cache entries (default 256; negative
+	// disables caching).
+	CacheSize int
+	// MaxJobs bounds the job registry; the oldest finished jobs are
+	// evicted past it (default 1024).
+	MaxJobs int
+	// MaxBudget caps a single request's per-seed evaluation budget
+	// (default 5,000,000).
+	MaxBudget int
+	// MaxSeeds caps a request's island count (default 64).
+	MaxSeeds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 5_000_000
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = 64
+	}
+	return c
+}
+
+// Server is the phonocmap-serve service: an HTTP API over a bounded job
+// queue, a worker pool of optimization runners, and a result cache.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *Job
+	cache *resultCache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	workers sync.WaitGroup
+
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for listing and eviction
+}
+
+// New builds a server and starts its worker pool. Call Shutdown to stop
+// it; Handler exposes the HTTP API (ListenAndServe binds it to
+// cfg.Addr).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *Job, cfg.QueueSize),
+		cache:   newResultCache(cfg.CacheSize),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+	}
+	s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Config returns the effective configuration (defaults resolved).
+func (s *Server) Config() Config { return s.cfg }
+
+// ListenAndServe binds the API to cfg.Addr and serves until ctx is done,
+// then shuts the HTTP listener and the worker pool down gracefully
+// (running jobs are cancelled through context propagation).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	hs := &http.Server{
+		Addr:    s.cfg.Addr,
+		Handler: s.mux,
+		// A public long-lived service must bound slow/idle connections or
+		// a slowloris-style client exhausts file descriptors.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shCtx)
+		if serr := s.Shutdown(shCtx); err == nil {
+			err = serr
+		}
+		return err
+	}
+}
+
+// Shutdown stops accepting jobs, cancels every queued and running job,
+// and waits for the workers to drain (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.stop() // cancels baseCtx -> every job context
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Flush anything still sitting in the queue (workers exited without
+	// draining it) to a terminal state so pollers see "cancelled".
+	for {
+		select {
+		case j := <-s.queue:
+			j.Cancel()
+		default:
+			return err
+		}
+	}
+}
+
+// worker executes jobs from the queue until shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(j *Job) {
+	if !j.markRunning() {
+		return // cancelled while queued
+	}
+	defer j.cancel() // release the job context resources
+
+	var res core.RunResult
+	var trace []TraceEvent
+	var err error
+	if j.spec.Seeds <= 1 {
+		res, err = s.runSingle(j)
+	} else {
+		res, err = s.runIslands(j)
+	}
+	switch {
+	case err != nil && j.ctx.Err() != nil:
+		j.finish(StateCancelled, nil, err)
+	case err != nil:
+		j.finish(StateFailed, nil, err)
+	case res.Cancelled:
+		// Truncated by cancellation (res.Cancelled is false for runs that
+		// spent their whole budget even if the cancel landed late, so
+		// complete results are never mislabelled or lost from the cache).
+		r := res
+		j.finish(StateCancelled, &r, nil)
+	default:
+		r := res
+		j.finish(StateDone, &r, nil)
+		if !j.noCache {
+			_, trace = j.snapshotTrace()
+			s.cache.put(j.key, res, trace, j.totalEvals())
+		}
+	}
+}
+
+func (s *Server) runSingle(j *Job) (core.RunResult, error) {
+	alg, err := search.New(j.spec.Algorithm)
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	ex, err := core.NewExploration(j.prob, core.Options{
+		Budget:     j.spec.Budget,
+		Seed:       j.spec.Seed,
+		Context:    j.ctx,
+		OnImprove:  func(evals int, best core.Score) { j.improve(0, evals, best) },
+		OnProgress: func(evals int, best core.Score) { j.observe(0, evals, best) },
+	})
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	return ex.Run(alg)
+}
+
+func (s *Server) runIslands(j *Job) (core.RunResult, error) {
+	factory := func() (core.Searcher, error) { return search.New(j.spec.Algorithm) }
+	best, _, err := core.RunParallel(j.prob, factory, core.ParallelOptions{
+		Budget:     j.spec.Budget,
+		Seeds:      core.SeedSequence(j.spec.Seed, j.spec.Seeds),
+		Workers:    0, // islands of one job may use the whole machine
+		Context:    j.ctx,
+		OnImprove:  j.improve,
+		OnProgress: j.observe,
+	})
+	return best, err
+}
+
+// register stores a job, evicting the oldest finished jobs past MaxJobs.
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if excess > 0 && job != nil && job.currentState().Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// --- HTTP handlers ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	spec, err := normalize(req, Limits{MaxBudget: s.cfg.MaxBudget, MaxSeeds: s.cfg.MaxSeeds})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	key := spec.Key()
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+
+	if !req.NoCache {
+		if res, trace, evals, ok := s.cache.get(key); ok {
+			j := newCachedJob(id, spec, key, res, trace, evals)
+			s.register(j)
+			writeJSON(w, http.StatusOK, j.status())
+			return
+		}
+	}
+
+	// Cache miss: now pay for the network/problem construction (and get
+	// the Eq. 2 fit check) before committing the job to the queue.
+	prob, err := buildProblem(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	j := newJob(id, spec, key, prob, req.NoCache, s.baseCtx)
+	select {
+	case s.queue <- j:
+		// Re-check after the enqueue: a Shutdown that began between the
+		// closed check above and this send may already have drained the
+		// queue and stopped the workers, which would strand the job in
+		// "queued" forever. Cancelling here guarantees it reaches a
+		// terminal state either way.
+		if s.closed.Load() {
+			j.Cancel()
+		}
+		s.register(j)
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		j.cancel() // release the context registered on baseCtx
+		writeJSON(w, http.StatusServiceUnavailable, apiError{
+			Error: fmt.Sprintf("job queue full (%d pending); retry later", s.cfg.QueueSize),
+		})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	res, state, ok := j.snapshotResult()
+	if !ok {
+		if state.Terminal() {
+			// failed, or cancelled before any evaluation
+			writeJSON(w, http.StatusConflict, j.status())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	state, trace := j.snapshotTrace()
+	writeJSON(w, http.StatusOK, JobTrace{ID: j.id, State: state, Trace: trace})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Apps())
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, search.Names())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := make(map[State]int)
+	for _, j := range s.jobs {
+		counts[j.currentState()]++
+	}
+	s.mu.Unlock()
+	status := "ok"
+	if s.closed.Load() {
+		status = "shutting down"
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:        status,
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		Jobs:          counts,
+		Cache:         s.cache.stats(),
+	})
+}

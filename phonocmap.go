@@ -22,8 +22,8 @@
 package phonocmap
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"phonocmap/internal/cg"
@@ -140,29 +140,54 @@ func NewProblem(app *Graph, nw *Network, obj Objective) (*Problem, error) {
 
 // SquareForTasks returns the side of the smallest square mesh that fits
 // n tasks: PIP (8 tasks) -> 3, VOPD (16) -> 4, DVOPD (32) -> 6.
-func SquareForTasks(n int) int {
-	if n < 1 {
-		return 0
-	}
-	side := int(math.Ceil(math.Sqrt(float64(n))))
-	return side
-}
+func SquareForTasks(n int) int { return config.SquareForTasks(n) }
 
 // Optimize runs the named algorithm on the problem with the given
 // evaluation budget and seed, returning the best mapping found. All
 // algorithms are budget-fair: equal budgets reproduce the paper's
 // equal-running-time comparisons.
 func Optimize(prob *Problem, algorithm string, budget int, seed int64) (RunResult, error) {
+	return OptimizeContext(context.Background(), prob, algorithm, budget, seed)
+}
+
+// OptimizeContext is Optimize with cancellation: once ctx is done the
+// search spends no further evaluations and returns the best mapping
+// reached so far with RunResult.Cancelled set (or ctx's error when
+// cancellation struck before anything was evaluated). With the same seed
+// an uncancelled OptimizeContext reproduces Optimize bit-for-bit.
+func OptimizeContext(ctx context.Context, prob *Problem, algorithm string, budget int, seed int64) (RunResult, error) {
 	s, err := search.New(algorithm)
 	if err != nil {
 		return RunResult{}, err
 	}
-	ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed})
+	ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed, Context: ctx})
 	if err != nil {
 		return RunResult{}, err
 	}
 	return ex.Run(s)
 }
+
+// OptimizeParallel runs one independent seeded search per entry of seeds
+// concurrently ("islands" mode) and returns the best result. Each island
+// gets the full budget, a cloned problem and its own searcher instance,
+// and reproduces the sequential Optimize run with the same seed
+// bit-for-bit, so the returned score is always at least as good as the
+// best of the corresponding sequential runs. workers bounds concurrency
+// (<= 0 means GOMAXPROCS); ctx cancels all islands.
+func OptimizeParallel(ctx context.Context, prob *Problem, algorithm string, budget int, seeds []int64, workers int) (RunResult, error) {
+	factory := func() (core.Searcher, error) { return search.New(algorithm) }
+	best, _, err := core.RunParallel(prob, factory, core.ParallelOptions{
+		Budget:  budget,
+		Seeds:   seeds,
+		Workers: workers,
+		Context: ctx,
+	})
+	return best, err
+}
+
+// Seeds derives n distinct seeds from a base seed (base, base+1, ...) for
+// OptimizeParallel.
+func Seeds(base int64, n int) []int64 { return core.SeedSequence(base, n) }
 
 // Compare runs several algorithms under identical budgets (the Table II
 // protocol) and returns the results in algorithm order.
