@@ -250,6 +250,102 @@ func BenchmarkWDMAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateFullVsIncremental is the hot-path comparison of the
+// incremental delta-evaluation engine against full re-evaluation on the
+// operation every swap searcher performs per step: swap two tiles, score
+// the result. The equal-budget DSE protocol makes evals/sec the solution
+// quality, so this ratio is the effective search-budget multiplier. The
+// dense random CGs stress the worst case (many communications per task).
+func BenchmarkEvaluateFullVsIncremental(b *testing.B) {
+	cases := []struct {
+		name         string
+		side         int
+		tasks, edges int
+	}{
+		{"4x4", 4, 14, 48},
+		{"8x8", 8, 56, 220},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(1))
+		app, err := phonocmap.RandomApp(rng, tc.tasks, tc.edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net, err := phonocmap.NewMeshNetwork(tc.side, tc.side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prob, err := phonocmap.NewProblem(app, net, phonocmap.MaximizeSNR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m0, err := phonocmap.RandomMapping(prob, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One fixed random swap sequence, shared by both paths.
+		numTiles := net.NumTiles()
+		type swap struct{ a, b phonocmap.TileID }
+		seq := make([]swap, 512)
+		for i := range seq {
+			a := rng.Intn(numTiles)
+			c := rng.Intn(numTiles - 1)
+			if c >= a {
+				c++
+			}
+			seq[i] = swap{a: phonocmap.TileID(a), b: phonocmap.TileID(c)}
+		}
+		applySwap := func(m phonocmap.Mapping, taskOf []int, s swap) {
+			ta, tb := taskOf[s.a], taskOf[s.b]
+			taskOf[s.a], taskOf[s.b] = tb, ta
+			if ta >= 0 {
+				m[ta] = s.b
+			}
+			if tb >= 0 {
+				m[tb] = s.a
+			}
+		}
+		newTaskOf := func(m phonocmap.Mapping) []int {
+			taskOf := make([]int, numTiles)
+			for t := range taskOf {
+				taskOf[t] = -1
+			}
+			for task, tile := range m {
+				taskOf[tile] = task
+			}
+			return taskOf
+		}
+
+		b.Run("full-"+tc.name, func(b *testing.B) {
+			m := m0.Clone()
+			taskOf := newTaskOf(m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				applySwap(m, taskOf, seq[i%len(seq)])
+				if _, err := phonocmap.Evaluate(prob, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("incremental-"+tc.name, func(b *testing.B) {
+			sess, err := phonocmap.NewSwapSession(prob, m0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := seq[i%len(seq)]
+				if _, err := sess.EvaluateSwap(s.a, s.b); err != nil {
+					b.Fatal(err)
+				}
+				sess.Commit()
+			}
+		})
+	}
+}
+
 // BenchmarkSimulate measures the traffic-simulator extension on a mapped
 // benchmark application.
 func BenchmarkSimulate(b *testing.B) {

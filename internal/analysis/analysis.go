@@ -17,6 +17,16 @@
 // element (Ki*Li = Ki), and no second-order noise (Ki*Kj = 0). The
 // injected power Pin is identical for all communications and cancels in
 // the SNR ratio, so all arithmetic is relative to Pin = 0 dB.
+//
+// Noise is accumulated per victim in fixed point (see noiseScale): each
+// pairwise contribution is computed from per-step linear factors
+// precomputed at network build and quantized to an integer before
+// summing. Integer sums are order-independent and exactly invertible,
+// which is what lets the incremental evaluator (Incremental) patch a
+// victim's noise as aggressors come and go while staying bit-for-bit
+// identical to a full evaluation. The quantum (2^-52 of the injected
+// power) is ~9 orders of magnitude below any physically meaningful
+// crosstalk level.
 package analysis
 
 import (
@@ -76,6 +86,38 @@ type occupant struct {
 	step int
 }
 
+// noiseScale is the fixed-point quantum of crosstalk accumulation: one
+// unit is 2^-52 of the injected power. Contributions are < 1 (leak
+// coefficients and losses are negative dB), so a quantized contribution
+// fits comfortably in an int64 with headroom for thousands of summands.
+const noiseScale = 1 << 52
+
+// fixedNoise quantizes one linear-domain contribution (truncation toward
+// zero — deterministic, shared by every evaluation path).
+func fixedNoise(x float64) int64 { return int64(x * noiseScale) }
+
+// noiseFromFixed converts an accumulated fixed-point noise back to the
+// linear domain.
+func noiseFromFixed(a int64) float64 { return float64(a) / noiseScale }
+
+// stepEffect classifies the interaction of a victim path step with an
+// aggressor occupant step at a shared element: same-waveguide contention
+// (conflict), a quantized first-order leak contribution, or nothing.
+// It is a pure function of the two immutable steps, so the full and the
+// incremental evaluators produce identical values from it.
+func stepEffect(leakLin *[3][2]float64, vs, as *network.Step) (conflict bool, contrib int64) {
+	if as.In == vs.In || as.Out == vs.Out {
+		// Same input waveguide (the signals already share the upstream
+		// segment) or same output waveguide (the signals merge
+		// downstream): single-wavelength contention, not crosstalk.
+		return true, 0
+	}
+	if !photonic.LeaksInto(vs.Kind, vs.State, as.In, vs.Out) {
+		return false, 0
+	}
+	return false, fixedNoise(leakLin[vs.Kind][vs.State] * as.LinLossBefore * vs.LinDownstream)
+}
+
 // Evaluator computes worst-case loss and SNR for communication sets on
 // one network. It reuses internal buffers across calls and is therefore
 // not safe for concurrent use; use Clone to obtain independent evaluators
@@ -88,8 +130,8 @@ type Evaluator struct {
 	occupants [][]occupant
 	touched   []network.GlobalElem
 	paths     []*network.Path
-	// leak[kind][state] caches the dB leak coefficients.
-	leak [3][2]float64
+	// leakLin[kind][state] caches the linear-domain leak coefficients.
+	leakLin [3][2]float64
 	// weights, when non-nil, turn AvgLossDB into a weighted mean (set
 	// transiently by EvaluateWeighted).
 	weights []float64
@@ -104,7 +146,7 @@ func NewEvaluator(nw *network.Network) *Evaluator {
 	p := nw.Params()
 	for _, k := range []photonic.Kind{photonic.Crossing, photonic.PPSE, photonic.CPSE} {
 		for _, s := range []photonic.State{photonic.Off, photonic.On} {
-			e.leak[k][s] = p.LeakCoeff(k, s)
+			e.leakLin[k][s] = photonic.DBToLinear(p.LeakCoeff(k, s))
 		}
 	}
 	return e
@@ -213,16 +255,13 @@ func (e *Evaluator) run(comms []Communication, details []Detail, channel []int) 
 	}
 	lossSum, weightSum := 0.0, 0.0
 	for vi, vp := range e.paths {
-		noiseLin := 0.0
+		var acc int64
 		for si := range vp.Steps {
 			vs := &vp.Steps[si]
 			occ := e.occupants[vs.Node]
 			if len(occ) < 2 {
 				continue
 			}
-			// Victim downstream loss excludes the generating element
-			// itself (Ki*Li = Ki simplification).
-			downstream := vp.TotalLoss - vs.LossBefore - vs.Loss
 			for _, o := range occ {
 				if o.comm == vi {
 					continue
@@ -230,21 +269,14 @@ func (e *Evaluator) run(comms []Communication, details []Detail, channel []int) 
 				if channel != nil && channel[o.comm] != channel[vi] {
 					continue // different wavelengths do not interact
 				}
-				as := &e.paths[o.comm].Steps[o.step]
-				if as.In == vs.In || as.Out == vs.Out {
-					// Same input waveguide (the signals already share
-					// the upstream segment) or same output waveguide
-					// (the signals merge downstream): single-wavelength
-					// contention, not crosstalk. Worst-case SNR analysis
-					// skips these and reports them separately.
+				conflict, contrib := stepEffect(&e.leakLin, vs, &e.paths[o.comm].Steps[o.step])
+				if conflict {
+					// Worst-case SNR analysis skips contention and
+					// reports it separately.
 					res.Conflicts++
 					continue
 				}
-				if !photonic.LeaksInto(vs.Kind, vs.State, as.In, vs.Out) {
-					continue
-				}
-				k := e.leak[vs.Kind][vs.State]
-				noiseLin += photonic.DBToLinear(k + as.LossBefore + downstream)
+				acc += contrib
 			}
 		}
 		loss := vp.TotalLoss
@@ -260,8 +292,8 @@ func (e *Evaluator) run(comms []Communication, details []Detail, channel []int) 
 		weightSum += w
 		snr := math.Inf(1)
 		noiseDB := math.Inf(-1)
-		if noiseLin > 0 {
-			noiseDB = photonic.LinearToDB(noiseLin)
+		if acc > 0 {
+			noiseDB = photonic.LinearToDB(noiseFromFixed(acc))
 			snr = loss - noiseDB
 		}
 		if res.WorstSNRIdx < 0 || snr < res.WorstSNRDB {

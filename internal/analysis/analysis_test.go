@@ -468,3 +468,71 @@ func TestEvaluateChanneledSeparatesAggressors(t *testing.T) {
 		t.Error("accepted short channel vector")
 	}
 }
+
+// TestEvaluateChanneledInputValidation pins the channeled path's input
+// contract: the channel slice must be nil or exactly one entry per
+// communication; channel values are opaque labels (any ints, including
+// negative ones, compare only for equality); and the communication
+// validation of the plain path applies unchanged.
+func TestEvaluateChanneledInputValidation(t *testing.T) {
+	nw := mesh3Net(t, xOnlyRouter(t))
+	ev := NewEvaluator(nw)
+	comms := []Communication{
+		{Src: 3, Dst: 5},
+		{Src: 1, Dst: 7},
+	}
+
+	// Length mismatches in both directions.
+	for _, channel := range [][]int{{0}, {0, 1, 2}, {}} {
+		if _, err := ev.EvaluateChanneled(comms, channel); err == nil {
+			t.Errorf("accepted %d channels for %d communications", len(channel), len(comms))
+		}
+	}
+
+	// Channel values are labels: negative and sparse values are legal and
+	// only equality matters.
+	neg, err := ev.EvaluateChanneled(comms, []int{-7, -7})
+	if err != nil {
+		t.Fatalf("negative channel labels rejected: %v", err)
+	}
+	dense, err := ev.EvaluateChanneled(comms, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg != dense {
+		t.Errorf("channel labels are not opaque: %+v != %+v", neg, dense)
+	}
+	sparse, err := ev.EvaluateChanneled(comms, []int{1 << 30, -(1 << 30)})
+	if err != nil {
+		t.Fatalf("sparse channel labels rejected: %v", err)
+	}
+	if !math.IsInf(sparse.WorstSNRDB, 1) {
+		t.Errorf("distinct labels should not interact; SNR = %v", sparse.WorstSNRDB)
+	}
+
+	// Communication validation still applies on the channeled path.
+	bad := []struct {
+		name  string
+		comms []Communication
+	}{
+		{"empty set", nil},
+		{"src == dst", []Communication{{Src: 2, Dst: 2}}},
+		{"tile out of range", []Communication{{Src: 0, Dst: 99}}},
+		{"negative tile", []Communication{{Src: -1, Dst: 3}}},
+	}
+	for _, tc := range bad {
+		channel := make([]int, len(tc.comms))
+		if _, err := ev.EvaluateChanneled(tc.comms, channel); err == nil {
+			t.Errorf("%s: accepted invalid input", tc.name)
+		}
+	}
+
+	// A failed call must not poison the evaluator's scratch state.
+	again, err := ev.EvaluateChanneled(comms, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != dense {
+		t.Errorf("evaluator state corrupted by rejected inputs: %+v != %+v", again, dense)
+	}
+}

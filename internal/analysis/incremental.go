@@ -1,0 +1,449 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"phonocmap/internal/network"
+	"phonocmap/internal/photonic"
+)
+
+// Incremental is the delta-evaluation engine behind swap-move search: it
+// keeps the element-occupancy map and the per-victim noise/conflict
+// accumulators of one communication set alive across calls, so that
+// changing a few communications (the edges incident to two swapped
+// tiles) costs only the work local to the changed paths instead of a
+// full re-evaluation.
+//
+// Bit-for-bit contract: every Result an Incremental produces is
+// identical — to the last bit — to Evaluator.Evaluate (or
+// EvaluateWeighted) on the same communication slice. The contract rests
+// on the fixed-point noise representation shared with Evaluator.run:
+// per-victim noise is an integer sum of quantized pairwise contributions
+// (stepEffect), and integer addition is order-independent and exactly
+// invertible. A delta therefore subtracts the departing aggressor's
+// contributions from each victim it shared elements with, adds the
+// arriving ones, and lands on exactly the integer a full evaluation
+// would compute.
+//
+// Complexity of ApplyDelta, with m communications, |Δ| changed ones and
+// occ the mean element occupancy:
+//
+//   - O(Σ_{c∈Δ} |path(c)|·occ) to patch the victims sharing elements
+//     with a changed communication's old and new paths (one stepEffect
+//     and one integer add each — no rescan of untouched pairs),
+//   - O(Σ_{c∈Δ} |path(c)|·occ) to recompute the changed communications'
+//     own accumulators from scratch, and
+//   - O(m) to rebuild the worst-case trackers and the (weighted) mean
+//     from the cached per-victim values (the "bounded rescan": pure
+//     float compares plus one log10 per noisy victim, no pairwise work).
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	nw *network.Network
+	// leakLin[kind][state] caches the linear-domain leak coefficients
+	// (same table as Evaluator).
+	leakLin [3][2]float64
+
+	// Current communication set and its resolved paths.
+	comms []Communication
+	paths []*network.Path
+	// weights, when non-nil, turn AvgLossDB into a weighted mean (set by
+	// InitWeighted, constant across deltas).
+	weights []float64
+
+	// occupants[elem] lists the communications traversing the element.
+	// everOccupied tracks which elements have ever held an entry so Init
+	// can reset in O(touched).
+	occupants    [][]occupant
+	everOccupied []network.GlobalElem
+	inOccupied   []bool
+
+	// Per-victim accumulators: fixed-point noise (see noiseScale) and
+	// conflict count of each communication.
+	noiseAcc  []int64
+	conflicts []int
+
+	res    Result
+	inited bool
+
+	// Per-delta scratch: changedMark flags the communications being
+	// replaced (recomputed from scratch, never patched); touchedMark
+	// flags every victim whose accumulators were snapshotted for undo.
+	changedMark []bool
+	touchedMark []bool
+
+	// Single-level undo log for the last ApplyDelta.
+	undoValid   bool
+	undoChanged []int
+	undoComms   []Communication
+	undoPaths   []*network.Path
+	undoTouched []int
+	undoNoise   []int64
+	undoConf    []int
+	undoRes     Result
+}
+
+// NewIncremental returns an incremental evaluator for the network. Call
+// Init before anything else.
+func NewIncremental(nw *network.Network) *Incremental {
+	inc := &Incremental{
+		nw:         nw,
+		occupants:  make([][]occupant, nw.NumElements()),
+		inOccupied: make([]bool, nw.NumElements()),
+	}
+	p := nw.Params()
+	for _, k := range []photonic.Kind{photonic.Crossing, photonic.PPSE, photonic.CPSE} {
+		for _, s := range []photonic.State{photonic.Off, photonic.On} {
+			inc.leakLin[k][s] = photonic.DBToLinear(p.LeakCoeff(k, s))
+		}
+	}
+	return inc
+}
+
+// Network returns the evaluated network.
+func (inc *Incremental) Network() *network.Network { return inc.nw }
+
+// Init seats the engine on a communication set, evaluating it in full.
+// The slice is copied; later deltas do not touch the caller's data.
+func (inc *Incremental) Init(comms []Communication) (Result, error) {
+	return inc.init(comms, nil)
+}
+
+// InitWeighted is Init with per-communication weights (see
+// Evaluator.EvaluateWeighted): AvgLossDB becomes the weight-averaged
+// insertion loss. The weights persist across deltas — they belong to the
+// CG edges, whose order never changes.
+func (inc *Incremental) InitWeighted(comms []Communication, weights []float64) (Result, error) {
+	if len(weights) != len(comms) {
+		return Result{}, fmt.Errorf("analysis: %d weights for %d communications", len(weights), len(comms))
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Result{}, fmt.Errorf("analysis: invalid weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return Result{}, fmt.Errorf("analysis: weights sum to %v, need > 0", sum)
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return inc.init(comms, ws)
+}
+
+func (inc *Incremental) init(comms []Communication, weights []float64) (Result, error) {
+	if len(comms) == 0 {
+		return Result{}, fmt.Errorf("analysis: no communications to evaluate")
+	}
+	n := inc.nw.NumTiles()
+	for i, c := range comms {
+		if c.Src < 0 || int(c.Src) >= n || c.Dst < 0 || int(c.Dst) >= n {
+			return Result{}, fmt.Errorf("analysis: communication %d: tile out of range (%d->%d)", i, c.Src, c.Dst)
+		}
+		if c.Src == c.Dst {
+			return Result{}, fmt.Errorf("analysis: communication %d: source and destination coincide at tile %d", i, c.Src)
+		}
+	}
+
+	m := len(comms)
+	inc.comms = append(inc.comms[:0], comms...)
+	inc.weights = weights
+	if cap(inc.paths) < m {
+		inc.paths = make([]*network.Path, m)
+		inc.noiseAcc = make([]int64, m)
+		inc.conflicts = make([]int, m)
+		inc.changedMark = make([]bool, m)
+		inc.touchedMark = make([]bool, m)
+	}
+	inc.paths = inc.paths[:m]
+	inc.noiseAcc = inc.noiseAcc[:m]
+	inc.conflicts = inc.conflicts[:m]
+	inc.changedMark = inc.changedMark[:m]
+	inc.touchedMark = inc.touchedMark[:m]
+	for i := range inc.changedMark {
+		inc.changedMark[i] = false
+		inc.touchedMark[i] = false
+	}
+	for i, c := range inc.comms {
+		inc.paths[i] = inc.nw.Path(c.Src, c.Dst)
+	}
+
+	// Rebuild the occupancy map.
+	for _, g := range inc.everOccupied {
+		inc.occupants[g] = inc.occupants[g][:0]
+		inc.inOccupied[g] = false
+	}
+	inc.everOccupied = inc.everOccupied[:0]
+	for ci, p := range inc.paths {
+		for si := range p.Steps {
+			inc.addOccupant(p.Steps[si].Node, occupant{comm: ci, step: si})
+		}
+	}
+
+	for vi := range inc.paths {
+		inc.recomputeVictim(vi)
+	}
+	inc.res = inc.assemble()
+	inc.inited = true
+	inc.undoValid = false
+	return inc.res, nil
+}
+
+// Result returns the metrics of the current communication set.
+func (inc *Incremental) Result() Result { return inc.res }
+
+// NumComms returns the size of the seated communication set.
+func (inc *Incremental) NumComms() int { return len(inc.comms) }
+
+// ApplyDelta replaces comms[changed[i]] with newComms[i] and returns the
+// metrics of the updated set, patching only the victims that share
+// elements with the changed communications (see the type docs for the
+// complexity). The previous state is retained for one Undo.
+func (inc *Incremental) ApplyDelta(changed []int, newComms []Communication) (Result, error) {
+	if !inc.inited {
+		return Result{}, fmt.Errorf("analysis: ApplyDelta before Init")
+	}
+	if len(changed) != len(newComms) {
+		return Result{}, fmt.Errorf("analysis: %d indices for %d communications", len(changed), len(newComms))
+	}
+	n := inc.nw.NumTiles()
+	for i, ci := range changed {
+		bad := ""
+		switch {
+		case ci < 0 || ci >= len(inc.comms):
+			bad = fmt.Sprintf("changed index %d out of range [0,%d)", ci, len(inc.comms))
+		case inc.changedMark[ci]:
+			bad = fmt.Sprintf("changed index %d listed twice", ci)
+		case newComms[i].Src < 0 || int(newComms[i].Src) >= n ||
+			newComms[i].Dst < 0 || int(newComms[i].Dst) >= n ||
+			newComms[i].Src == newComms[i].Dst:
+			bad = fmt.Sprintf("communication %d: invalid replacement (%d->%d)", ci, newComms[i].Src, newComms[i].Dst)
+		}
+		if bad != "" {
+			for _, cj := range changed[:i] {
+				inc.changedMark[cj] = false
+			}
+			return Result{}, fmt.Errorf("analysis: %s", bad)
+		}
+		inc.changedMark[ci] = true
+	}
+
+	// Open the undo log; every victim snapshots its accumulators the
+	// moment it is first touched.
+	inc.undoChanged = inc.undoChanged[:0]
+	inc.undoComms = inc.undoComms[:0]
+	inc.undoPaths = inc.undoPaths[:0]
+	inc.undoTouched = inc.undoTouched[:0]
+	inc.undoNoise = inc.undoNoise[:0]
+	inc.undoConf = inc.undoConf[:0]
+	inc.undoRes = inc.res
+	for _, ci := range changed {
+		inc.undoChanged = append(inc.undoChanged, ci)
+		inc.undoComms = append(inc.undoComms, inc.comms[ci])
+		inc.undoPaths = append(inc.undoPaths, inc.paths[ci])
+		inc.touch(ci)
+	}
+
+	// Detach every changed communication from its old path, subtracting
+	// its contributions from the victims it shared elements with.
+	// Changed-changed pairs are skipped: those victims are recomputed
+	// from scratch below.
+	for _, ci := range changed {
+		p := inc.paths[ci]
+		for si := range p.Steps {
+			as := &p.Steps[si]
+			for _, o := range inc.occupants[as.Node] {
+				if inc.changedMark[o.comm] {
+					continue
+				}
+				inc.touch(o.comm)
+				vs := &inc.paths[o.comm].Steps[o.step]
+				conflict, contrib := stepEffect(&inc.leakLin, vs, as)
+				if conflict {
+					inc.conflicts[o.comm]--
+				} else {
+					inc.noiseAcc[o.comm] -= contrib
+				}
+			}
+			inc.removeOccupant(as.Node, ci)
+		}
+	}
+
+	// Re-route, then attach on the new paths, adding the new
+	// contributions to the new sharers.
+	for i, ci := range changed {
+		inc.comms[ci] = newComms[i]
+		inc.paths[ci] = inc.nw.Path(newComms[i].Src, newComms[i].Dst)
+	}
+	for _, ci := range changed {
+		p := inc.paths[ci]
+		for si := range p.Steps {
+			as := &p.Steps[si]
+			for _, o := range inc.occupants[as.Node] {
+				if inc.changedMark[o.comm] {
+					continue
+				}
+				inc.touch(o.comm)
+				vs := &inc.paths[o.comm].Steps[o.step]
+				conflict, contrib := stepEffect(&inc.leakLin, vs, as)
+				if conflict {
+					inc.conflicts[o.comm]++
+				} else {
+					inc.noiseAcc[o.comm] += contrib
+				}
+			}
+			inc.addOccupant(as.Node, occupant{comm: ci, step: si})
+		}
+	}
+
+	// The changed communications see a (partially) new world: rebuild
+	// their own accumulators from scratch, then fold the cached values
+	// into the aggregate trackers.
+	for _, ci := range changed {
+		inc.recomputeVictim(ci)
+		inc.changedMark[ci] = false
+	}
+	for _, vi := range inc.undoTouched {
+		inc.touchedMark[vi] = false
+	}
+	inc.res = inc.assemble()
+	inc.undoValid = true
+	return inc.res, nil
+}
+
+// Undo reverts the last ApplyDelta, restoring paths, occupancy and every
+// cached accumulator to their exact previous values. Only one level of
+// undo is kept; a second Undo (or an Undo after Init) fails.
+func (inc *Incremental) Undo() (Result, error) {
+	if !inc.undoValid {
+		return Result{}, fmt.Errorf("analysis: nothing to undo")
+	}
+	// Detach the new paths, re-attach the old ones.
+	for _, ci := range inc.undoChanged {
+		p := inc.paths[ci]
+		for si := range p.Steps {
+			inc.removeOccupant(p.Steps[si].Node, ci)
+		}
+	}
+	for i, ci := range inc.undoChanged {
+		inc.comms[ci] = inc.undoComms[i]
+		inc.paths[ci] = inc.undoPaths[i]
+		for si := range inc.undoPaths[i].Steps {
+			inc.addOccupant(inc.undoPaths[i].Steps[si].Node, occupant{comm: ci, step: si})
+		}
+	}
+	// Restore the snapshotted accumulators (no recomputation: the stored
+	// values are the previous values).
+	for i, vi := range inc.undoTouched {
+		inc.noiseAcc[vi] = inc.undoNoise[i]
+		inc.conflicts[vi] = inc.undoConf[i]
+	}
+	inc.res = inc.undoRes
+	inc.undoValid = false
+	return inc.res, nil
+}
+
+// touch queues a victim's undo snapshot on first contact in a delta.
+func (inc *Incremental) touch(vi int) {
+	if inc.touchedMark[vi] {
+		return
+	}
+	inc.touchedMark[vi] = true
+	inc.undoTouched = append(inc.undoTouched, vi)
+	inc.undoNoise = append(inc.undoNoise, inc.noiseAcc[vi])
+	inc.undoConf = append(inc.undoConf, inc.conflicts[vi])
+}
+
+// addOccupant appends an entry to an element's list, tracking ever-used
+// elements for O(touched) resets.
+func (inc *Incremental) addOccupant(g network.GlobalElem, o occupant) {
+	if !inc.inOccupied[g] {
+		inc.inOccupied[g] = true
+		inc.everOccupied = append(inc.everOccupied, g)
+	}
+	inc.occupants[g] = append(inc.occupants[g], o)
+}
+
+// removeOccupant filters one communication's entries out of an element's
+// list, preserving the order of the rest.
+func (inc *Incremental) removeOccupant(g network.GlobalElem, comm int) {
+	occ := inc.occupants[g]
+	kept := occ[:0]
+	for _, o := range occ {
+		if o.comm != comm {
+			kept = append(kept, o)
+		}
+	}
+	inc.occupants[g] = kept
+}
+
+// recomputeVictim rebuilds one victim's accumulators from scratch with
+// the same stepEffect values a full evaluation sums — the integer
+// representation makes the summation order irrelevant.
+func (inc *Incremental) recomputeVictim(vi int) {
+	vp := inc.paths[vi]
+	var acc int64
+	conflicts := 0
+	for si := range vp.Steps {
+		vs := &vp.Steps[si]
+		occ := inc.occupants[vs.Node]
+		if len(occ) < 2 {
+			continue
+		}
+		for _, o := range occ {
+			if o.comm == vi {
+				continue
+			}
+			conflict, contrib := stepEffect(&inc.leakLin, vs, &inc.paths[o.comm].Steps[o.step])
+			if conflict {
+				conflicts++
+			} else {
+				acc += contrib
+			}
+		}
+	}
+	inc.noiseAcc[vi] = acc
+	inc.conflicts[vi] = conflicts
+}
+
+// assemble folds the cached per-victim values into a Result, scanning in
+// communication order with the same comparisons and accumulation order
+// as Evaluator.run — the worst-case indices, tie-breaking, Conflicts
+// total and (weighted) mean therefore match a full evaluation exactly.
+func (inc *Incremental) assemble() Result {
+	res := Result{
+		WorstLossDB:  0,
+		WorstSNRDB:   math.Inf(1),
+		WorstLossIdx: -1,
+		WorstSNRIdx:  -1,
+	}
+	lossSum, weightSum := 0.0, 0.0
+	for vi := range inc.paths {
+		loss := inc.paths[vi].TotalLoss
+		if res.WorstLossIdx < 0 || loss < res.WorstLossDB {
+			res.WorstLossDB = loss
+			res.WorstLossIdx = vi
+		}
+		w := 1.0
+		if inc.weights != nil {
+			w = inc.weights[vi]
+		}
+		lossSum += w * loss
+		weightSum += w
+		snr := math.Inf(1)
+		if inc.noiseAcc[vi] > 0 {
+			snr = loss - photonic.LinearToDB(noiseFromFixed(inc.noiseAcc[vi]))
+		}
+		if res.WorstSNRIdx < 0 || snr < res.WorstSNRDB {
+			res.WorstSNRDB = snr
+			res.WorstSNRIdx = vi
+		}
+		res.Conflicts += inc.conflicts[vi]
+	}
+	if weightSum > 0 {
+		res.AvgLossDB = lossSum / weightSum
+	}
+	return res
+}

@@ -85,6 +85,10 @@ type Problem struct {
 	edges   []cg.Edge
 	comms   []analysis.Communication
 	weights []float64 // bandwidth weights, MinimizeWeightedLoss only
+	// incident[task] lists the indices of the CG edges the task is an
+	// endpoint of — the communications a task-level move changes. Built
+	// once; the swap-session delta mapper depends on it.
+	incident [][]int
 }
 
 // NewProblem validates Eq. 2 (the application must fit the topology) and
@@ -110,6 +114,11 @@ func NewProblem(app *cg.Graph, nw *network.Network, obj Objective) (*Problem, er
 		ev:    analysis.NewEvaluator(nw),
 		edges: app.Edges(),
 		comms: make([]analysis.Communication, app.NumEdges()),
+	}
+	p.incident = make([][]int, app.NumTasks())
+	for i, e := range p.edges {
+		p.incident[e.Src] = append(p.incident[e.Src], i)
+		p.incident[e.Dst] = append(p.incident[e.Dst], i)
 	}
 	if obj == MinimizeWeightedLoss {
 		p.weights = make([]float64, len(p.edges))
@@ -176,6 +185,13 @@ func (p *Problem) Evaluate(m Mapping) (Score, error) {
 	if err != nil {
 		return Score{}, err
 	}
+	return p.scoreFrom(res)
+}
+
+// scoreFrom converts an analysis result into the objective's Score — the
+// single place the Cost semantics live, shared by the full and the
+// incremental evaluation paths so they cannot drift apart.
+func (p *Problem) scoreFrom(res analysis.Result) (Score, error) {
 	s := Score{
 		WorstLossDB: res.WorstLossDB,
 		WorstSNRDB:  res.WorstSNRDB,
@@ -205,9 +221,8 @@ func (p *Problem) Details(m Mapping) (analysis.Result, []analysis.Detail, error)
 	if len(m) != p.app.NumTasks() {
 		return analysis.Result{}, nil, fmt.Errorf("core: mapping covers %d tasks, app has %d", len(m), p.app.NumTasks())
 	}
-	comms := make([]analysis.Communication, len(p.edges))
 	for i, e := range p.edges {
-		comms[i] = analysis.Communication{Src: m[e.Src], Dst: m[e.Dst]}
+		p.comms[i] = analysis.Communication{Src: m[e.Src], Dst: m[e.Dst]}
 	}
-	return p.ev.Detailed(comms, nil)
+	return p.ev.Detailed(p.comms, nil)
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"phonocmap/internal/topo"
 )
 
 // Searcher is a mapping optimization algorithm. Implementations draw all
@@ -45,6 +47,10 @@ type Context struct {
 	// archives such as ParetoFront. The mapping is only valid during the
 	// callback; clone it to retain it.
 	OnEvaluate func(m Mapping, s Score)
+	// sess is the incremental swap session of the run, seated by
+	// StartSwaps/AttachSwaps and driven by EvaluateSwap; nil until a
+	// searcher opts into the incremental path.
+	sess *SwapSession
 }
 
 // NewContext prepares an optimization run with the given evaluation
@@ -103,6 +109,14 @@ func (c *Context) Evaluate(m Mapping) (Score, bool, error) {
 	if err != nil {
 		return Score{}, false, err
 	}
+	c.account(m, s)
+	return s, true, nil
+}
+
+// account spends one budget unit on an already-computed evaluation:
+// callbacks fire and the incumbent updates exactly as in Evaluate, so
+// the full and incremental paths share one ledger.
+func (c *Context) account(m Mapping, s Score) {
 	c.evals++
 	if c.OnEvaluate != nil {
 		c.OnEvaluate(m, s)
@@ -115,8 +129,126 @@ func (c *Context) Evaluate(m Mapping) (Score, bool, error) {
 			c.OnImprove(c.evals, s)
 		}
 	}
+}
+
+// StartSwaps evaluates m through the incremental engine, seats the run's
+// swap session on it and spends one budget unit — the incremental
+// equivalent of Evaluate for the starting point of a swap searcher. The
+// returned Score is bit-for-bit what Evaluate(m) would have produced.
+func (c *Context) StartSwaps(m Mapping) (Score, bool, error) {
+	if c.Exhausted() {
+		return Score{}, false, nil
+	}
+	s, err := c.seatSwaps(m)
+	if err != nil {
+		return Score{}, false, err
+	}
+	c.account(m, s)
 	return s, true, nil
 }
+
+// AttachSwaps seats the swap session on a mapping whose evaluation was
+// already paid for (e.g. the incumbent, or the survivor of a calibration
+// phase) without spending budget. Seating costs up to one evaluation's
+// worth of CPU but keeps the evaluation ledger untouched.
+func (c *Context) AttachSwaps(m Mapping) error {
+	_, err := c.seatSwaps(m)
+	return err
+}
+
+// seatSwaps places the session on m, reusing the existing session's
+// buffers via Reseat when one is already seated (scores are bit-for-bit
+// identical either way; Reseat just skips the re-allocation and the
+// unchanged communications).
+func (c *Context) seatSwaps(m Mapping) (Score, error) {
+	if c.sess != nil && !c.sess.Pending() {
+		return c.sess.Reseat(m)
+	}
+	sess, err := c.prob.NewSwapSession(m)
+	if err != nil {
+		return Score{}, err
+	}
+	c.sess = sess
+	return sess.Score(), nil
+}
+
+// EvaluateSwap tentatively swaps the contents of two tiles of the
+// session's mapping and scores the result, spending one budget unit like
+// Evaluate but touching only the communications the swap changes. The
+// caller must resolve the move with CommitSwap or RevertSwap before the
+// next evaluation. ok is false — and the swap is NOT applied — once the
+// budget is exhausted or the run cancelled.
+func (c *Context) EvaluateSwap(a, b topo.TileID) (Score, bool, error) {
+	if c.sess == nil {
+		return Score{}, false, fmt.Errorf("core: EvaluateSwap without a session (call StartSwaps or AttachSwaps)")
+	}
+	if c.Exhausted() {
+		return Score{}, false, nil
+	}
+	s, err := c.sess.EvaluateSwap(a, b)
+	if err != nil {
+		return Score{}, false, err
+	}
+	c.account(c.sess.Mapping(), s)
+	return s, true, nil
+}
+
+// CommitSwap keeps the tentative swap of the session.
+func (c *Context) CommitSwap() {
+	if c.sess != nil {
+		c.sess.Commit()
+	}
+}
+
+// RevertSwap undoes the tentative swap of the session, restoring the
+// exact previous state.
+func (c *Context) RevertSwap() error {
+	if c.sess == nil {
+		return fmt.Errorf("core: RevertSwap without a session")
+	}
+	return c.sess.Revert()
+}
+
+// ApplySwap commits a swap whose score is already known from a previous
+// EvaluateSwap/RevertSwap round, without spending budget — the
+// incremental analogue of mutating a working mapping between rounds
+// (tabu and R-PBLA apply the winner of a ranked round this way).
+func (c *Context) ApplySwap(a, b topo.TileID) error {
+	if c.sess == nil {
+		return fmt.Errorf("core: ApplySwap without a session")
+	}
+	if _, err := c.sess.EvaluateSwap(a, b); err != nil {
+		return err
+	}
+	c.sess.Commit()
+	return nil
+}
+
+// EvaluateVia evaluates an arbitrary valid mapping through the
+// incremental engine, spending one budget unit: the session reseats on m
+// by delta from wherever it currently sits (seating itself in full on
+// first use). Scores are bit-for-bit identical to Evaluate(m); cost is
+// proportional to how much of the mapping changed. Used by searchers
+// whose moves are close to — but not exactly — single swaps, e.g. GA
+// mutation chains.
+func (c *Context) EvaluateVia(m Mapping) (Score, bool, error) {
+	if c.Exhausted() {
+		return Score{}, false, nil
+	}
+	if c.sess == nil {
+		return c.StartSwaps(m)
+	}
+	s, err := c.sess.Reseat(m)
+	if err != nil {
+		return Score{}, false, err
+	}
+	c.account(c.sess.Mapping(), s)
+	return s, true, nil
+}
+
+// SwapSession exposes the seated session (nil before StartSwaps or
+// AttachSwaps) for searchers that need its occupancy view.
+func (c *Context) SwapSession() *SwapSession { return c.sess }
 
 // WithBudgetSlice runs f under a temporarily reduced budget: at most n
 // further evaluations are allowed inside f, after which the original

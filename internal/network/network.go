@@ -42,6 +42,15 @@ type Step struct {
 	// waveguides). Both are <= 0.
 	Loss       float64
 	LossBefore float64
+	// LinLossBefore and LinDownstream are the linear-domain factors of
+	// the first-order crosstalk formula, precomputed at network build so
+	// the analysis hot loop multiplies instead of exponentiating:
+	// LinLossBefore = 10^(LossBefore/10) is the aggressor-side prefix
+	// attenuation, LinDownstream = 10^((TotalLoss-LossBefore-Loss)/10)
+	// the victim-side suffix attenuation (excluding the generating
+	// element, the Ki*Li = Ki simplification).
+	LinLossBefore float64
+	LinDownstream float64
 }
 
 // Path is the element-level optical path of one communication.
@@ -172,6 +181,11 @@ func (nw *Network) expand(src, dst topo.TileID) (*Path, error) {
 		}
 	}
 	path.TotalLoss = acc
+	for i := range path.Steps {
+		s := &path.Steps[i]
+		s.LinLossBefore = photonic.DBToLinear(s.LossBefore)
+		s.LinDownstream = photonic.DBToLinear(path.TotalLoss - s.LossBefore - s.Loss)
+	}
 	return path, nil
 }
 

@@ -1,0 +1,411 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/topo"
+)
+
+// This file proves the incremental-path rewrite of the searchers changed
+// no search behavior: refSA, refTabu, refRPBLA, refMemetic and refGA are
+// verbatim copies of the searchers' pre-rewrite control flow — every
+// candidate scored through ctx.Evaluate, i.e. a full from-scratch
+// evaluation — and the tests assert that the live searchers reproduce
+// their RunResult (Mapping, Score, Evals) exactly under equal seeds.
+//
+// Both sides run against the same Evaluator, so what is proven is
+// strategy equivalence: identical candidate sequences, identical RNG
+// consumption, identical budget accounting, identical incumbents. (The
+// evaluator's own arithmetic was deliberately re-derived in the same PR
+// — factorized linear factors plus fixed-point noise quantization — a
+// documented sub-physical rounding change shared by both paths.)
+
+// refRankMoves is the pre-refactor rankMoves: every admitted move
+// evaluated by mutating the slot view and fully evaluating the mapping.
+func refRankMoves(ctx *core.Context, s *slots, moves []move, buf []rankedMove) ([]rankedMove, bool, error) {
+	buf = buf[:0]
+	for _, mv := range moves {
+		s.swapTiles(mv.a, mv.b)
+		score, ok, err := ctx.Evaluate(s.mapping)
+		s.swapTiles(mv.a, mv.b) // undo
+		if err != nil {
+			return buf, false, err
+		}
+		if !ok {
+			return buf, false, nil
+		}
+		buf = append(buf, rankedMove{m: mv, score: score})
+	}
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].score.Better(buf[j].score) })
+	return buf, true, nil
+}
+
+type refSA struct{ cfg *SA }
+
+func (s refSA) Name() string { return "ref-sa" }
+
+func (s refSA) Search(ctx *core.Context) error {
+	if err := s.cfg.validate(); err != nil {
+		return err
+	}
+	rng := ctx.Rng()
+	numTiles := ctx.Problem().NumTiles()
+
+	var costs []float64
+	var cur core.Mapping
+	var curScore core.Score
+	for i := 0; i < s.cfg.CalibrationSamples; i++ {
+		m := ctx.RandomMapping()
+		sc, ok, err := ctx.Evaluate(m)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if math.IsInf(sc.Cost, 0) {
+			continue
+		}
+		costs = append(costs, sc.Cost)
+		if cur == nil || sc.Better(curScore) {
+			cur, curScore = m.Clone(), sc
+		}
+	}
+	if cur == nil {
+		cur = ctx.RandomMapping()
+		sc, ok, err := ctx.Evaluate(cur)
+		if err != nil || !ok {
+			return err
+		}
+		curScore = sc
+	}
+	spread := costSpread(costs)
+	if spread <= 0 {
+		spread = 1
+	}
+	t0 := -spread / math.Log(s.cfg.InitialAcceptance)
+	alpha := math.Pow(s.cfg.FinalTempFactor, 1/math.Max(1, float64(ctx.Remaining())))
+
+	sl := newSlots(cur, numTiles)
+	temp := t0
+	for !ctx.Exhausted() {
+		a := topo.TileID(rng.Intn(numTiles))
+		b := topo.TileID(rng.Intn(numTiles))
+		if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+			continue
+		}
+		sl.swapTiles(a, b)
+		sc, ok, err := ctx.Evaluate(sl.mapping)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		accept := sc.Better(curScore)
+		if !accept {
+			delta := sc.Cost - curScore.Cost
+			if !math.IsInf(delta, 0) && rng.Float64() < math.Exp(-delta/temp) {
+				accept = true
+			}
+		}
+		if accept {
+			curScore = sc
+		} else {
+			sl.swapTiles(a, b)
+		}
+		temp *= alpha
+	}
+	return nil
+}
+
+type refTabu struct{ cfg *Tabu }
+
+func (t refTabu) Name() string { return "ref-tabu" }
+
+func (t refTabu) Search(ctx *core.Context) error {
+	tenure := t.cfg.Tenure
+	if tenure == 0 {
+		tenure = ctx.Problem().NumTasks()
+	}
+	numTiles := ctx.Problem().NumTiles()
+
+	cur := ctx.RandomMapping()
+	if _, ok, err := ctx.Evaluate(cur); err != nil || !ok {
+		return err
+	}
+	_, bestScore, _ := ctx.Best()
+	sl := newSlots(cur, numTiles)
+	moves := admittedMoves(sl.taskAt, len(sl.taskOf))
+	expires := make(map[move]int, len(moves))
+	var ranked []rankedMove
+
+	for iter := 0; !ctx.Exhausted(); iter++ {
+		var err error
+		var full bool
+		ranked, full, err = refRankMoves(ctx, sl, moves, ranked)
+		if err != nil {
+			return err
+		}
+		if len(ranked) == 0 {
+			return nil
+		}
+		applied := false
+		for _, rm := range ranked {
+			tabu := expires[rm.m] > iter
+			aspire := rm.score.Better(bestScore)
+			if tabu && !aspire {
+				continue
+			}
+			sl.swapTiles(rm.m.a, rm.m.b)
+			expires[rm.m] = iter + tenure
+			if rm.score.Better(bestScore) {
+				bestScore = rm.score
+			}
+			applied = true
+			break
+		}
+		if !applied {
+			for k := range expires {
+				delete(expires, k)
+			}
+		}
+		if !full {
+			return nil
+		}
+	}
+	return nil
+}
+
+type refRPBLA struct{ cfg *RPBLA }
+
+func (r refRPBLA) Name() string { return "ref-rpbla" }
+
+func (r refRPBLA) Search(ctx *core.Context) error {
+	numTiles := ctx.Problem().NumTiles()
+	var ranked []rankedMove
+
+	for !ctx.Exhausted() {
+		cur := ctx.RandomMapping()
+		curScore, ok, err := ctx.Evaluate(cur)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		sl := newSlots(cur, numTiles)
+		moves := admittedMoves(sl.taskAt, len(sl.taskOf))
+
+		for round := 0; r.cfg.MaxRounds == 0 || round < r.cfg.MaxRounds; round++ {
+			var full bool
+			ranked, full, err = refRankMoves(ctx, sl, moves, ranked)
+			if err != nil {
+				return err
+			}
+			if len(ranked) == 0 {
+				return nil
+			}
+			best := ranked[0]
+			if !best.score.Better(curScore) {
+				break
+			}
+			sl.swapTiles(best.m.a, best.m.b)
+			curScore = best.score
+			if !full {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+type refGA struct{ cfg *GA }
+
+func (g refGA) Name() string { return "ref-ga" }
+
+func (g refGA) Search(ctx *core.Context) error {
+	if err := g.cfg.validate(); err != nil {
+		return err
+	}
+	rng := ctx.Rng()
+	numTasks := ctx.Problem().NumTasks()
+	numTiles := ctx.Problem().NumTiles()
+
+	newIndividual := func() individual {
+		perm := make([]topo.TileID, numTiles)
+		for i, v := range rng.Perm(numTiles) {
+			perm[i] = topo.TileID(v)
+		}
+		return individual{perm: perm}
+	}
+	evaluate := func(ind *individual) (bool, error) {
+		if ind.valid {
+			return true, nil
+		}
+		s, ok, err := ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		if err != nil || !ok {
+			return ok, err
+		}
+		ind.score, ind.valid = s, true
+		return true, nil
+	}
+
+	pop := make([]individual, g.cfg.PopSize)
+	for i := range pop {
+		pop[i] = newIndividual()
+		if ok, err := evaluate(&pop[i]); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
+	}
+
+	tournament := func() *individual {
+		best := &pop[rng.Intn(len(pop))]
+		for i := 1; i < g.cfg.TournamentK; i++ {
+			c := &pop[rng.Intn(len(pop))]
+			if c.score.Better(best.score) {
+				best = c
+			}
+		}
+		return best
+	}
+
+	next := make([]individual, 0, g.cfg.PopSize)
+	for !ctx.Exhausted() {
+		next = next[:0]
+		sortByScore(pop)
+		for i := 0; i < g.cfg.Elite; i++ {
+			elite := individual{perm: clonePerm(pop[i].perm), score: pop[i].score, valid: true}
+			next = append(next, elite)
+		}
+		for len(next) < g.cfg.PopSize {
+			p1, p2 := tournament(), tournament()
+			var child individual
+			if rng.Float64() < g.cfg.CrossoverRate {
+				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
+			} else {
+				child = individual{perm: clonePerm(p1.perm)}
+			}
+			for rng.Float64() < g.cfg.MutationRate {
+				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
+				child.perm[i], child.perm[j] = child.perm[j], child.perm[i]
+				child.valid = false
+			}
+			if !child.valid {
+				if ok, err := evaluate(&child); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+			next = append(next, child)
+		}
+		pop, next = next, pop
+	}
+	return nil
+}
+
+type refMemetic struct{ cfg *Memetic }
+
+func (m refMemetic) Name() string { return "ref-memetic" }
+
+func (m refMemetic) Search(ctx *core.Context) error {
+	if err := m.cfg.GA.validate(); err != nil {
+		return err
+	}
+	numTiles := ctx.Problem().NumTiles()
+	rng := ctx.Rng()
+	ga := refGA{cfg: m.cfg.GA}
+
+	for !ctx.Exhausted() {
+		burst := 4 * m.cfg.GA.PopSize
+		if remaining := ctx.Remaining(); burst > remaining {
+			burst = remaining
+		}
+		if err := ctx.WithBudgetSlice(burst, ga.Search); err != nil {
+			return err
+		}
+		best, bestScore, ok := ctx.Best()
+		if !ok {
+			return nil
+		}
+		sl := newSlots(best, numTiles)
+		cur := bestScore
+		for i := 0; i < m.cfg.RefineMoves && !ctx.Exhausted(); i++ {
+			a := topo.TileID(rng.Intn(numTiles))
+			b := topo.TileID(rng.Intn(numTiles))
+			if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+				continue
+			}
+			sl.swapTiles(a, b)
+			s, evaluated, err := ctx.Evaluate(sl.mapping)
+			if err != nil {
+				return err
+			}
+			if !evaluated {
+				return nil
+			}
+			if s.Better(cur) {
+				cur = s
+			} else {
+				sl.swapTiles(a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// runSeeded executes one searcher on a fresh clone of the problem under
+// the standard Exploration seed derivation.
+func runSeeded(t *testing.T, prob *core.Problem, s core.Searcher, budget int, seed int64) core.RunResult {
+	t.Helper()
+	ex, err := core.NewExploration(prob.Clone(), core.Options{Budget: budget, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIncrementalSearchersMatchReference: under equal seeds, the
+// incremental-path searchers reproduce the pre-refactor full-evaluation
+// searchers bit for bit — same Mapping, same Score, same Evals.
+func TestIncrementalSearchersMatchReference(t *testing.T) {
+	pairs := []struct {
+		name string
+		live core.Searcher
+		ref  core.Searcher
+	}{
+		{"sa", NewSA(), refSA{cfg: NewSA()}},
+		{"tabu", NewTabu(), refTabu{cfg: NewTabu()}},
+		{"rpbla", NewRPBLA(), refRPBLA{cfg: NewRPBLA()}},
+		{"ga", NewGA(), refGA{cfg: NewGA()}},
+		{"memetic", NewMemetic(), refMemetic{cfg: NewMemetic()}},
+	}
+	for _, obj := range []core.Objective{core.MinimizeLoss, core.MaximizeSNR, core.MinimizeWeightedLoss} {
+		prob := problem(t, "VOPD", 4, 4, obj)
+		for _, p := range pairs {
+			for _, seed := range []int64{1, 7} {
+				got := runSeeded(t, prob, p.live, 600, seed)
+				want := runSeeded(t, prob, p.ref, 600, seed)
+				if !got.Mapping.Equal(want.Mapping) {
+					t.Errorf("%s/%s seed %d: mapping %v != reference %v", p.name, obj, seed, got.Mapping, want.Mapping)
+				}
+				if got.Score != want.Score {
+					t.Errorf("%s/%s seed %d: score %+v != reference %+v", p.name, obj, seed, got.Score, want.Score)
+				}
+				if got.Evals != want.Evals {
+					t.Errorf("%s/%s seed %d: evals %d != reference %d", p.name, obj, seed, got.Evals, want.Evals)
+				}
+			}
+		}
+	}
+}

@@ -90,11 +90,25 @@ func (g *GA) Search(ctx *core.Context) error {
 		}
 		return individual{perm: perm}
 	}
-	evaluate := func(ind *individual) (bool, error) {
+	// viaDelta routes an individual through the incremental engine
+	// (ctx.EvaluateVia) instead of a full evaluation: used for the
+	// mutation-only children, which differ from an evaluated parent by a
+	// handful of swaps, so the engine re-scores only the touched edges.
+	// Crossover offspring recombine two parents and resemble neither, so
+	// they keep the full evaluation. Both paths produce bit-identical
+	// scores and spend exactly one budget unit.
+	evaluate := func(ind *individual, viaDelta bool) (bool, error) {
 		if ind.valid {
 			return true, nil
 		}
-		s, ok, err := ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		var s core.Score
+		var ok bool
+		var err error
+		if viaDelta {
+			s, ok, err = ctx.EvaluateVia(core.Mapping(ind.perm[:numTasks]))
+		} else {
+			s, ok, err = ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		}
 		if err != nil || !ok {
 			return ok, err
 		}
@@ -105,7 +119,7 @@ func (g *GA) Search(ctx *core.Context) error {
 	pop := make([]individual, g.PopSize)
 	for i := range pop {
 		pop[i] = newIndividual()
-		if ok, err := evaluate(&pop[i]); err != nil {
+		if ok, err := evaluate(&pop[i], false); err != nil {
 			return err
 		} else if !ok {
 			return nil // budget exhausted during initialization
@@ -135,10 +149,12 @@ func (g *GA) Search(ctx *core.Context) error {
 		for len(next) < g.PopSize {
 			p1, p2 := tournament(), tournament()
 			var child individual
+			viaDelta := false
 			if rng.Float64() < g.CrossoverRate {
 				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
 			} else {
 				child = individual{perm: clonePerm(p1.perm)}
+				viaDelta = true // a mutated clone is a short swap chain
 			}
 			for rng.Float64() < g.MutationRate {
 				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
@@ -146,7 +162,7 @@ func (g *GA) Search(ctx *core.Context) error {
 				child.valid = false
 			}
 			if !child.valid {
-				if ok, err := evaluate(&child); err != nil {
+				if ok, err := evaluate(&child, viaDelta); err != nil {
 					return err
 				} else if !ok {
 					return nil

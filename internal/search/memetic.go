@@ -56,21 +56,24 @@ func (m *Memetic) Search(ctx *core.Context) error {
 		if err := ctx.WithBudgetSlice(burst, m.GA.Search); err != nil {
 			return err
 		}
-		// Local refinement of the incumbent.
+		// Local refinement of the incumbent: seat the incremental session
+		// on it (already evaluated, so no budget) and descend by deltas.
 		best, bestScore, ok := ctx.Best()
 		if !ok {
 			return nil
 		}
-		sl := newSlots(best, numTiles)
+		if err := ctx.AttachSwaps(best); err != nil {
+			return err
+		}
+		sess := ctx.SwapSession()
 		cur := bestScore
 		for i := 0; i < m.RefineMoves && !ctx.Exhausted(); i++ {
 			a := topo.TileID(rng.Intn(numTiles))
 			b := topo.TileID(rng.Intn(numTiles))
-			if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+			if a == b || (sess.TaskAt(a) < 0 && sess.TaskAt(b) < 0) {
 				continue
 			}
-			sl.swapTiles(a, b)
-			s, evaluated, err := ctx.Evaluate(sl.mapping)
+			s, evaluated, err := ctx.EvaluateSwap(a, b)
 			if err != nil {
 				return err
 			}
@@ -79,8 +82,9 @@ func (m *Memetic) Search(ctx *core.Context) error {
 			}
 			if s.Better(cur) {
 				cur = s // keep the move
-			} else {
-				sl.swapTiles(a, b) // undo
+				ctx.CommitSwap()
+			} else if err := ctx.RevertSwap(); err != nil {
+				return err
 			}
 		}
 	}

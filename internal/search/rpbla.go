@@ -36,21 +36,22 @@ func (r *RPBLA) Search(ctx *core.Context) error {
 	var ranked []rankedMove
 
 	for !ctx.Exhausted() {
-		// Fresh random starting point.
+		// Fresh random starting point: seat the incremental session on it
+		// (one budget unit, exactly like the full evaluation it replaces)
+		// and rank every admitted move as a delta.
 		cur := ctx.RandomMapping()
-		curScore, ok, err := ctx.Evaluate(cur)
+		curScore, ok, err := ctx.StartSwaps(cur)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			return nil
 		}
-		sl := newSlots(cur, numTiles)
-		moves := admittedMoves(sl)
+		moves := admittedMoves(ctx.SwapSession().TaskAt, numTiles)
 
 		for round := 0; r.MaxRounds == 0 || round < r.MaxRounds; round++ {
 			var full bool
-			ranked, full, err = rankMoves(ctx, sl, moves, ranked)
+			ranked, full, err = rankMoves(ctx, moves, ranked)
 			if err != nil {
 				return err
 			}
@@ -63,7 +64,11 @@ func (r *RPBLA) Search(ctx *core.Context) error {
 				// the context; restart from a new random point.
 				break
 			}
-			sl.swapTiles(best.m.a, best.m.b)
+			// The winning move's score was paid for in the ranking round;
+			// applying it costs no budget.
+			if err := ctx.ApplySwap(best.m.a, best.m.b); err != nil {
+				return err
+			}
 			curScore = best.score
 			if !full {
 				// Ranking was cut short by the budget; the applied move

@@ -97,16 +97,21 @@ func (s *SA) Search(ctx *core.Context) error {
 	t0 := -spread / math.Log(s.InitialAcceptance)
 	alpha := math.Pow(s.FinalTempFactor, 1/math.Max(1, float64(ctx.Remaining())))
 
-	sl := newSlots(cur, numTiles)
+	// The annealing walk lives entirely in the swap neighborhood: seat the
+	// incremental session on the calibration survivor (already paid for)
+	// and score every move as a delta.
+	if err := ctx.AttachSwaps(cur); err != nil {
+		return err
+	}
+	sess := ctx.SwapSession()
 	temp := t0
 	for !ctx.Exhausted() {
 		a := topo.TileID(rng.Intn(numTiles))
 		b := topo.TileID(rng.Intn(numTiles))
-		if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
+		if a == b || (sess.TaskAt(a) < 0 && sess.TaskAt(b) < 0) {
 			continue // not an admitted move; costs no budget
 		}
-		sl.swapTiles(a, b)
-		sc, ok, err := ctx.Evaluate(sl.mapping)
+		sc, ok, err := ctx.EvaluateSwap(a, b)
 		if err != nil {
 			return err
 		}
@@ -122,8 +127,9 @@ func (s *SA) Search(ctx *core.Context) error {
 		}
 		if accept {
 			curScore = sc
-		} else {
-			sl.swapTiles(a, b) // undo
+			ctx.CommitSwap()
+		} else if err := ctx.RevertSwap(); err != nil {
+			return err
 		}
 		temp *= alpha
 	}

@@ -84,6 +84,10 @@ func (s *slots) reset(m core.Mapping) {
 	}
 }
 
+// taskAt reports the task on a tile (-1 when free) — the admittedMoves
+// accessor of a slots view.
+func (s *slots) taskAt(t topo.TileID) int { return s.taskOf[t] }
+
 // swapTiles exchanges the contents of two tiles (tasks or emptiness),
 // keeping the mapping in sync. Swapping two empty tiles is a no-op.
 func (s *slots) swapTiles(a, b topo.TileID) {
@@ -106,13 +110,14 @@ type move struct {
 // admittedMoves enumerates every admitted move for a problem of the given
 // size, in deterministic order: all tile pairs (a < b) where at least one
 // side will host a task. For fully packed problems this is all task-task
-// swaps; with spare tiles it also includes task relocations.
-func admittedMoves(s *slots) []move {
+// swaps; with spare tiles it also includes task relocations. taskAt
+// reports the task hosted on a tile (-1 when free) — typically
+// core.SwapSession.TaskAt or a slots view.
+func admittedMoves(taskAt func(topo.TileID) int, numTiles int) []move {
 	var res []move
-	n := len(s.taskOf)
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			if s.taskOf[a] >= 0 || s.taskOf[b] >= 0 {
+	for a := 0; a < numTiles; a++ {
+		for b := a + 1; b < numTiles; b++ {
+			if taskAt(topo.TileID(a)) >= 0 || taskAt(topo.TileID(b)) >= 0 {
 				res = append(res, move{a: topo.TileID(a), b: topo.TileID(b)})
 			}
 		}
@@ -126,22 +131,26 @@ type rankedMove struct {
 	score core.Score
 }
 
-// rankMoves evaluates every admitted move from the current state and
-// returns the moves sorted best-first (the paper's priority-based list,
-// "ordered according to the worst-case power loss or SNR associated with
-// any potential move"). It consumes one budget unit per move; when the
-// budget runs out midway the evaluated prefix is returned with ok=false.
-func rankMoves(ctx *core.Context, s *slots, moves []move, buf []rankedMove) ([]rankedMove, bool, error) {
+// rankMoves evaluates every admitted move from the current state of the
+// context's swap session and returns the moves sorted best-first (the
+// paper's priority-based list, "ordered according to the worst-case power
+// loss or SNR associated with any potential move"). Each move is scored
+// incrementally — evaluate the swap, record, revert — so a ranking round
+// costs O(moves · Δ) instead of O(moves · full evaluation). It consumes
+// one budget unit per move; when the budget runs out midway the evaluated
+// prefix is returned with ok=false.
+func rankMoves(ctx *core.Context, moves []move, buf []rankedMove) ([]rankedMove, bool, error) {
 	buf = buf[:0]
 	for _, mv := range moves {
-		s.swapTiles(mv.a, mv.b)
-		score, ok, err := ctx.Evaluate(s.mapping)
-		s.swapTiles(mv.a, mv.b) // undo
+		score, ok, err := ctx.EvaluateSwap(mv.a, mv.b)
 		if err != nil {
 			return buf, false, err
 		}
 		if !ok {
 			return buf, false, nil
+		}
+		if err := ctx.RevertSwap(); err != nil {
+			return buf, false, err
 		}
 		buf = append(buf, rankedMove{m: mv, score: score})
 	}

@@ -322,7 +322,7 @@ func TestAdmittedMovesCoverRelocations(t *testing.T) {
 	// to the free tile, but never the (empty, empty) pair.
 	m := core.Mapping{0, 1, 2}
 	sl := newSlots(m, 4)
-	moves := admittedMoves(sl)
+	moves := admittedMoves(sl.taskAt, len(sl.taskOf))
 	// Tile pairs: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) — all admitted
 	// because tile 3 is the only empty one.
 	if len(moves) != 6 {
@@ -330,7 +330,7 @@ func TestAdmittedMovesCoverRelocations(t *testing.T) {
 	}
 	m2 := core.Mapping{0}
 	sl2 := newSlots(m2, 4)
-	moves2 := admittedMoves(sl2)
+	moves2 := admittedMoves(sl2.taskAt, len(sl2.taskOf))
 	// Only pairs touching tile 0 are admitted: (0,1),(0,2),(0,3).
 	if len(moves2) != 3 {
 		t.Fatalf("admitted moves = %d, want 3", len(moves2))

@@ -34,20 +34,22 @@ func (t *Tabu) Search(ctx *core.Context) error {
 	}
 	numTiles := ctx.Problem().NumTiles()
 
+	// Seat the incremental session on the random start (one budget unit,
+	// exactly like the full evaluation it replaces); every subsequent move
+	// in the ranking rounds is a delta evaluation.
 	cur := ctx.RandomMapping()
-	if _, ok, err := ctx.Evaluate(cur); err != nil || !ok {
+	if _, ok, err := ctx.StartSwaps(cur); err != nil || !ok {
 		return err
 	}
 	_, bestScore, _ := ctx.Best()
-	sl := newSlots(cur, numTiles)
-	moves := admittedMoves(sl)
+	moves := admittedMoves(ctx.SwapSession().TaskAt, numTiles)
 	expires := make(map[move]int, len(moves))
 	var ranked []rankedMove
 
 	for iter := 0; !ctx.Exhausted(); iter++ {
 		var err error
 		var full bool
-		ranked, full, err = rankMoves(ctx, sl, moves, ranked)
+		ranked, full, err = rankMoves(ctx, moves, ranked)
 		if err != nil {
 			return err
 		}
@@ -61,7 +63,11 @@ func (t *Tabu) Search(ctx *core.Context) error {
 			if tabu && !aspire {
 				continue
 			}
-			sl.swapTiles(rm.m.a, rm.m.b)
+			// Apply the winner without spending budget — its score was
+			// already paid for during the ranking round.
+			if err := ctx.ApplySwap(rm.m.a, rm.m.b); err != nil {
+				return err
+			}
 			expires[rm.m] = iter + tenure
 			if rm.score.Better(bestScore) {
 				bestScore = rm.score

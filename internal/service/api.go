@@ -217,4 +217,13 @@ type Health struct {
 	QueueCapacity int           `json:"queue_capacity"`
 	Jobs          map[State]int `json:"jobs"`
 	Cache         CacheStats    `json:"cache"`
+	// TotalEvals counts mapping evaluations actually performed since the
+	// server started (finished jobs plus in-flight progress; cache hits
+	// replay without evaluating and do not count). EvalsPerSec is the
+	// lifetime average throughput — under the paper's equal-budget
+	// protocol, evaluation throughput is the service's effective search
+	// capacity.
+	TotalEvals  int64   `json:"total_evals"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	UptimeSec   float64 `json:"uptime_sec"`
 }

@@ -46,6 +46,7 @@ type Job struct {
 	mu          sync.Mutex
 	state       State
 	cached      bool
+	folded      bool // evals folded into the server's lifetime counter
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
@@ -80,12 +81,15 @@ func newJob(id string, spec Spec, key string, prob *core.Problem, noCache bool, 
 func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, evals int) *Job {
 	now := time.Now()
 	j := &Job{
-		id:          id,
-		spec:        spec,
-		key:         key,
-		done:        make(chan struct{}),
-		state:       StateDone,
-		cached:      true,
+		id:     id,
+		spec:   spec,
+		key:    key,
+		done:   make(chan struct{}),
+		state:  StateDone,
+		cached: true,
+		// A replay performs no evaluations; the originals were folded
+		// into the server's throughput counter by the job that ran.
+		folded:      true,
 		submitted:   now,
 		started:     now,
 		finished:    now,
@@ -183,6 +187,10 @@ func (j *Job) finish(state State, res *core.RunResult, err error) {
 func (j *Job) totalEvals() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.totalEvalsLocked()
+}
+
+func (j *Job) totalEvalsLocked() int {
 	evals := 0
 	for _, e := range j.islandEvals {
 		evals += e
@@ -191,6 +199,31 @@ func (j *Job) totalEvals() int {
 		evals = j.result.Evals
 	}
 	return evals
+}
+
+// foldEvals hands the job's evaluations over to the server's lifetime
+// counter exactly once; unfoldedEvals reports them until that moment.
+// The pair keeps the /healthz total consistent: a job's evaluations are
+// visible either through the live scan or through the folded counter,
+// never twice and never not at all (the folded counter is read before
+// the scan, so a fold racing the scan can only undercount transiently).
+func (j *Job) foldEvals() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.folded {
+		return 0
+	}
+	j.folded = true
+	return j.totalEvalsLocked()
+}
+
+func (j *Job) unfoldedEvals() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.folded {
+		return 0
+	}
+	return j.totalEvalsLocked()
 }
 
 func (j *Job) closeDoneLocked() {

@@ -76,6 +76,12 @@ type Server struct {
 	nextID atomic.Uint64
 	closed atomic.Bool
 
+	// evalsDone counts the evaluations of finished (terminal) jobs;
+	// in-flight evaluations are summed from the live jobs on demand.
+	// Cache hits replay results without evaluating and are not counted.
+	evalsDone atomic.Int64
+	started   time.Time
+
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []string // insertion order, for listing and eviction
@@ -95,6 +101,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
+		started: time.Now(),
 	}
 	s.routes()
 	s.workers.Add(cfg.Workers)
@@ -198,6 +205,9 @@ func (s *Server) runJob(j *Job) {
 		return // cancelled while queued
 	}
 	defer j.cancel() // release the job context resources
+	// Fold the job's evaluations into the lifetime throughput counter
+	// once it settles (all exit paths below reach a terminal state).
+	defer func() { s.evalsDone.Add(int64(j.foldEvals())) }()
 
 	var res core.RunResult
 	var trace []TraceEvent
@@ -434,15 +444,29 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Read the folded counter BEFORE scanning the jobs: a job folding
+	// mid-scan is then skipped by unfoldedEvals and not yet in done —
+	// a transient undercount, never a double count.
+	done := s.evalsDone.Load()
 	s.mu.Lock()
 	counts := make(map[State]int)
+	unfolded := int64(0)
 	for _, j := range s.jobs {
 		counts[j.currentState()]++
+		// Live jobs report their progress counters; finished jobs count
+		// here until their worker folds them into evalsDone.
+		unfolded += int64(j.unfoldedEvals())
 	}
 	s.mu.Unlock()
 	status := "ok"
 	if s.closed.Load() {
 		status = "shutting down"
+	}
+	total := done + unfolded
+	uptime := time.Since(s.started).Seconds()
+	perSec := 0.0
+	if uptime > 0 {
+		perSec = float64(total) / uptime
 	}
 	writeJSON(w, http.StatusOK, Health{
 		Status:        status,
@@ -451,5 +475,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		QueueCapacity: s.cfg.QueueSize,
 		Jobs:          counts,
 		Cache:         s.cache.stats(),
+		TotalEvals:    total,
+		EvalsPerSec:   perSec,
+		UptimeSec:     uptime,
 	})
 }

@@ -394,6 +394,61 @@ func TestDiscoveryAndHealth(t *testing.T) {
 	}
 }
 
+// TestHealthzEvalCounters: /healthz reports evaluation throughput — the
+// service's effective search capacity under the equal-budget protocol.
+// Real runs add their evaluations; cache replays do not.
+func TestHealthzEvalCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	base := ts.URL
+
+	var h0 Health
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h0); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if h0.TotalEvals != 0 {
+		t.Errorf("fresh server reports %d evals", h0.TotalEvals)
+	}
+
+	req := Request{Algorithm: "rs", Budget: 400, Seed: 3}
+	req.App.Builtin = "PIP"
+	var st JobStatus
+	if code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	final, _ := pollUntil(t, base, st.ID, 30*time.Second, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != StateDone {
+		t.Fatalf("job finished %q", final.State)
+	}
+
+	var h1 Health
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h1); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if h1.TotalEvals != 400 {
+		t.Errorf("total_evals = %d after a 400-eval run", h1.TotalEvals)
+	}
+	if h1.EvalsPerSec <= 0 {
+		t.Errorf("evals_per_sec = %v, want > 0", h1.EvalsPerSec)
+	}
+	if h1.UptimeSec <= 0 {
+		t.Errorf("uptime_sec = %v, want > 0", h1.UptimeSec)
+	}
+
+	// An identical second submission is served from the cache: no new
+	// evaluations.
+	var st2 JobStatus
+	if code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &st2); code != http.StatusOK {
+		t.Fatalf("cached submit returned %d", code)
+	}
+	var h2 Health
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h2); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if h2.TotalEvals != 400 {
+		t.Errorf("cache hit changed total_evals: %d", h2.TotalEvals)
+	}
+}
+
 func TestNoCacheBypassesCache(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	base := ts.URL

@@ -88,6 +88,10 @@ type (
 	VariationResult = robust.VariationResult
 	// FailureResult records a mapping's metrics under one link failure.
 	FailureResult = robust.FailureResult
+	// SwapSession is the incremental evaluation engine for swap-move
+	// search: scores tile swaps by re-evaluating only the communications
+	// they change, bit-for-bit identical to Evaluate.
+	SwapSession = core.SwapSession
 )
 
 // Objective values.
@@ -216,6 +220,22 @@ func RandomMapping(prob *Problem, rng *rand.Rand) (Mapping, error) {
 // Evaluate scores an arbitrary valid mapping against the problem's
 // objective and physical models.
 func Evaluate(prob *Problem, m Mapping) (Score, error) { return prob.Evaluate(m) }
+
+// NewSwapSession opens an incremental evaluation session seated on m: a
+// full evaluation up front, then EvaluateSwap/Commit/Revert score tile
+// swaps at O(changed communications) cost with scores bit-for-bit
+// identical to Evaluate. This is the engine behind the swap-neighborhood
+// searchers (SA, tabu, R-PBLA, memetic refinement).
+func NewSwapSession(prob *Problem, m Mapping) (*SwapSession, error) {
+	return prob.NewSwapSession(m)
+}
+
+// RandomApp generates a weakly connected random application CG with the
+// given task and directed-edge counts and uniform random bandwidths —
+// useful for stressing large meshes beyond the eight bundled benchmarks.
+func RandomApp(rng *rand.Rand, tasks, edges int) (*Graph, error) {
+	return cg.RandomConnected(rng, tasks, edges)
+}
 
 // RunExperiment executes a declarative experiment description end to end.
 func RunExperiment(exp Experiment) (RunResult, error) {
