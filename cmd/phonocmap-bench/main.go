@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	phonocmap-bench fig3   [-samples 100000] [-seed 1] [-apps PIP,VOPD] [-csv dir]
-//	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla]
+//	phonocmap-bench fig3   [-samples 100000] [-seed 1] [-apps PIP,VOPD] [-csv dir] [-workers N]
+//	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla] [-workers N]
 //	phonocmap-bench ablation [-app VOPD] [-seed 1]
 //
 // Defaults reproduce the paper's setup; reduced samples/budgets give
-// quick sanity runs.
+// quick sanity runs. The grid-shaped experiments run on the sweep
+// engine (internal/sweep) — -workers shards their cells across cores
+// without changing any result (cells are independent seeded runs).
 package main
 
 import (
@@ -76,6 +78,7 @@ func cmdFig3(args []string) error {
 	bins := fs.Int("bins", 60, "histogram bins")
 	apps := fs.String("apps", "", "comma-separated app subset (default: all eight)")
 	csvDir := fs.String("csv", "", "write per-app CSV histograms to this directory")
+	workers := fs.Int("workers", 0, "apps sampled concurrently (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,13 +88,14 @@ func cmdFig3(args []string) error {
 	}
 	fmt.Printf("Figure 3: distribution of worst-case SNR and power loss over %d random mappings\n", *samples)
 	fmt.Printf("architecture: smallest square mesh per app, Crux router, XY routing, Table I parameters\n\n")
-	for _, app := range list {
-		res, err := experiments.Fig3(app, experiments.Fig3Options{
-			Samples: *samples, Seed: *seed, Bins: *bins,
-		})
-		if err != nil {
-			return err
-		}
+	results, err := experiments.Fig3All(list, experiments.Fig3Options{
+		Samples: *samples, Seed: *seed, Bins: *bins,
+	}, *workers)
+	if err != nil {
+		return err
+	}
+	for i, app := range list {
+		res := results[i]
 		fmt.Printf("== %s ==\n", app)
 		fmt.Printf("SNR  (dB): %s  zero-noise mappings: %d\n", res.SNRSummary.String(), res.SNRSummary.NonFinite())
 		fmt.Printf("loss (dB): %s\n", res.LossSummary.String())
@@ -170,6 +174,7 @@ func cmdTable2(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	apps := fs.String("apps", "", "comma-separated app subset (default: all eight)")
 	algos := fs.String("algos", "", "comma-separated algorithms (default: rs,ga,rpbla)")
+	workers := fs.Int("workers", 0, "grid cells executed concurrently (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,6 +183,7 @@ func cmdTable2(args []string) error {
 		Seed:       *seed,
 		Apps:       splitList(*apps),
 		Algorithms: splitList(*algos),
+		Workers:    *workers,
 	}
 	opts.Normalize()
 
@@ -191,12 +197,12 @@ func cmdTable2(args []string) error {
 	}
 	fmt.Println(header)
 	fmt.Println(strings.Repeat("-", len(header)))
-	for _, app := range opts.Apps {
-		row, err := experiments.Table2Row(app, opts)
-		if err != nil {
-			return err
-		}
-		line := fmt.Sprintf("%-15s |", app)
+	rows, err := experiments.Table2(opts)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		line := fmt.Sprintf("%-15s |", row.App)
 		for _, cells := range []map[string]experiments.Cell{row.Mesh, row.Torus} {
 			for _, a := range opts.Algorithms {
 				c := cells[a]

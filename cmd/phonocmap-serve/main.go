@@ -13,6 +13,8 @@
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"app":{"builtin":"VOPD"},"budget":20000}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"apps":[{"builtin":"PIP"}],"archs":[{"topology":"mesh"},{"topology":"torus"}],"algorithms":["rs","rpbla"],"budgets":[20000]}'
+//	curl -s localhost:8080/v1/sweeps/sweep-000001/result
 package main
 
 import (
@@ -33,18 +35,22 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
 	maxBudget := flag.Int("max-budget", 5_000_000, "largest accepted per-seed evaluation budget")
 	maxSeeds := flag.Int("max-seeds", 64, "largest accepted island count per job")
+	maxSweepCells := flag.Int("max-sweep-cells", 1024, "largest accepted sweep grid size (cells)")
+	maxSweeps := flag.Int("max-sweeps", 128, "sweep registry bound (oldest finished evicted)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := service.New(service.Config{
-		Addr:      *addr,
-		Workers:   *workers,
-		QueueSize: *queue,
-		CacheSize: *cache,
-		MaxBudget: *maxBudget,
-		MaxSeeds:  *maxSeeds,
+		Addr:          *addr,
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheSize:     *cache,
+		MaxBudget:     *maxBudget,
+		MaxSeeds:      *maxSeeds,
+		MaxSweepCells: *maxSweepCells,
+		MaxSweeps:     *maxSweeps,
 	})
 	cfg := srv.Config()
 	log.Printf("phonocmap-serve listening on %s (%d workers, queue %d, cache %d)",

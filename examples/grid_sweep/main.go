@@ -1,0 +1,87 @@
+// Grid sweep: the paper's evaluation protocol as one declarative grid.
+// Two applications × mesh/torus × both objectives × two algorithms run
+// under an equal evaluation budget on the local worker pool, then the
+// sweep aggregators fold the cells into a Table II-style comparison, a
+// budget-ablation curve and per-application Pareto fronts.
+//
+// The identical grid can be submitted to a running phonocmap-serve via
+// POST /v1/sweeps — cells are content-addressed job specs, so results
+// computed on either front populate the same cache identity.
+//
+// Run with:
+//
+//	go run ./examples/grid_sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"phonocmap"
+)
+
+func main() {
+	spec := phonocmap.SweepSpec{
+		Apps: []phonocmap.AppSpec{{Builtin: "PIP"}, {Builtin: "MWD"}},
+		Archs: []phonocmap.ArchSpec{
+			{Topology: "mesh"}, // auto-sized to the smallest square per app
+			{Topology: "torus"},
+		},
+		Objectives: []string{"snr", "loss"},
+		Algorithms: []string{"rs", "rpbla"},
+		Budgets:    []int{400, 4000},
+		Seeds:      []int64{1},
+	}
+
+	cells, err := phonocmap.ExpandSweep(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %d cells (2 apps x 2 archs x 2 objectives x 2 algorithms x 2 budgets)\n\n", len(cells))
+
+	results, err := phonocmap.RunSweep(context.Background(), spec, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("cell %s failed: %v", r.Cell.Label(), r.Err)
+		}
+	}
+
+	// Table II-style comparison: each column reports the best score found
+	// across the grid's budget dimension.
+	fmt.Println("algorithm comparison (best SNR / best loss, dB):")
+	for _, row := range phonocmap.SweepTable(results) {
+		fmt.Printf("  %-6s", row.App)
+		for _, topo := range []string{"mesh", "torus"} {
+			cells := row.Mesh
+			if topo == "torus" {
+				cells = row.Torus
+			}
+			for _, algo := range spec.Algorithms {
+				c := cells[algo]
+				fmt.Printf("  %s/%s %6.2f/%6.2f", topo, algo, c.SNRDB, c.LossDB)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nbudget ablation (mesh, snr objective):")
+	for _, p := range phonocmap.SweepBudgetCurves(results) {
+		if p.Topology != "mesh" || p.Objective != "snr" {
+			continue
+		}
+		fmt.Printf("  %-6s %-6s budget %5d: snr %6.2f dB, loss %6.2f dB\n",
+			p.App, p.Algorithm, p.Budget, p.SNRDB, p.LossDB)
+	}
+
+	fmt.Println("\nPareto fronts over all cells:")
+	for app, front := range phonocmap.SweepParetoFronts(results) {
+		fmt.Printf("  %s: %d non-dominated mapping(s)\n", app, len(front))
+		for _, pt := range front {
+			fmt.Printf("    loss %6.2f dB   SNR %6.2f dB\n", pt.WorstLossDB, pt.WorstSNRDB)
+		}
+	}
+}

@@ -1,12 +1,17 @@
 // Package experiments implements the paper's evaluation section (Section
 // III) as reusable drivers: the Figure 3 random-mapping distribution
 // study and the Table II algorithm comparison, plus ablations on the
-// design choices. The CLI tool cmd/phonocmap-bench and the repository's
-// benchmark suite both call into this package so that printed tables and
-// testing.B benchmarks exercise identical code.
+// design choices. Every grid-shaped driver (Table2, BudgetAblation,
+// RouterAblation) is a thin adapter over the generic sweep engine
+// (internal/sweep): it declares the grid, lets the engine expand and
+// execute the cells, and folds the results with the engine's
+// aggregators — so the CLI tool cmd/phonocmap-bench, the repository's
+// benchmark suite and the service's /v1/sweeps endpoint all execute
+// identical code for identical grids.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,6 +21,7 @@ import (
 	"phonocmap/internal/core"
 	"phonocmap/internal/search"
 	"phonocmap/internal/stats"
+	"phonocmap/internal/sweep"
 )
 
 // PaperApps returns the eight applications of the case studies in the
@@ -137,21 +143,35 @@ func Fig3(app string, opts Fig3Options) (*Fig3Result, error) {
 	return res, nil
 }
 
-// Cell is one Table II cell pair: the best worst-case SNR and the best
-// worst-case loss found by one algorithm on one topology.
-type Cell struct {
-	SNRDB  float64 // from the MaximizeSNR run
-	LossDB float64 // from the MinimizeLoss run
-	Evals  int
+// Fig3All runs the distribution study for several applications sharded
+// over the sweep engine's worker pool (each app is one unit of work; the
+// per-app sampling itself is seed-deterministic and unchanged, so the
+// worker count never changes the histograms). Results come back in input
+// order. workers <= 0 means GOMAXPROCS.
+func Fig3All(apps []string, opts Fig3Options, workers int) ([]*Fig3Result, error) {
+	results := make([]*Fig3Result, len(apps))
+	err := sweep.ForEach(context.Background(), len(apps), workers, func(_ context.Context, i int) error {
+		res, err := Fig3(apps[i], opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", apps[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
+// Cell is one Table II cell pair: the best worst-case SNR and the best
+// worst-case loss found by one algorithm on one topology. It is the
+// sweep engine's comparison-table cell.
+type Cell = sweep.TableCell
+
 // Row is one application row of Table II: cells per algorithm for mesh
-// and torus.
-type Row struct {
-	App   string
-	Mesh  map[string]Cell
-	Torus map[string]Cell
-}
+// and torus. It is the sweep engine's comparison-table row.
+type Row = sweep.TableRow
 
 // Table2Options configures the algorithm comparison.
 type Table2Options struct {
@@ -164,6 +184,10 @@ type Table2Options struct {
 	Algorithms []string
 	// Apps defaults to the paper's eight applications.
 	Apps []string
+	// Workers bounds concurrently executing grid cells (<= 0 means
+	// GOMAXPROCS). Cells are independent seeded runs, so the results are
+	// identical at any worker count.
+	Workers int
 }
 
 // Normalize fills defaults in place.
@@ -182,65 +206,72 @@ func (o *Table2Options) Normalize() {
 	}
 }
 
+// Table2Grid declares the Table II design-space grid for the sweep
+// engine: every app on its smallest square mesh and torus, both
+// objectives, every algorithm, one budget, one seed. The service's
+// /v1/sweeps endpoint executes the same grid through the same engine, so
+// the two fronts cannot drift apart.
+func Table2Grid(opts Table2Options) sweep.Spec {
+	opts.Normalize()
+	apps := make([]config.AppSpec, 0, len(opts.Apps))
+	for _, name := range opts.Apps {
+		apps = append(apps, config.AppSpec{Builtin: name})
+	}
+	return sweep.Spec{
+		Apps:       apps,
+		Archs:      []config.ArchSpec{{Topology: "mesh"}, {Topology: "torus"}},
+		Objectives: []string{"snr", "loss"},
+		Algorithms: opts.Algorithms,
+		Budgets:    []int{opts.Budget},
+		Seeds:      []int64{opts.Seed},
+	}
+}
+
+// Table2 computes the full comparison table by expanding the Table II
+// grid and folding the executed cells into rows.
+func Table2(opts Table2Options) ([]Row, error) {
+	opts.Normalize()
+	results, err := runGrid(Table2Grid(opts), opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2: %w", err)
+	}
+	return sweep.Table(results), nil
+}
+
 // Table2Row computes one application row of Table II: every algorithm on
 // mesh and torus, optimizing SNR and loss separately (as the paper's
 // per-objective columns do).
 func Table2Row(app string, opts Table2Options) (Row, error) {
 	opts.Normalize()
-	row := Row{
-		App:   app,
-		Mesh:  make(map[string]Cell),
-		Torus: make(map[string]Cell),
+	opts.Apps = []string{app}
+	rows, err := Table2(opts)
+	if err != nil {
+		return Row{}, err
 	}
-	for _, torus := range []bool{false, true} {
-		cells := row.Mesh
-		if torus {
-			cells = row.Torus
-		}
-		for _, algo := range opts.Algorithms {
-			var cell Cell
-			for _, obj := range []core.Objective{core.MaximizeSNR, core.MinimizeLoss} {
-				prob, err := problemFor(app, torus, obj)
-				if err != nil {
-					return Row{}, err
-				}
-				s, err := search.New(algo)
-				if err != nil {
-					return Row{}, err
-				}
-				ex, err := core.NewExploration(prob, core.Options{Budget: opts.Budget, Seed: opts.Seed})
-				if err != nil {
-					return Row{}, err
-				}
-				res, err := ex.Run(s)
-				if err != nil {
-					return Row{}, err
-				}
-				if obj == core.MaximizeSNR {
-					cell.SNRDB = res.Score.WorstSNRDB
-				} else {
-					cell.LossDB = res.Score.WorstLossDB
-				}
-				cell.Evals = res.Evals
-			}
-			cells[algo] = cell
-		}
+	if len(rows) != 1 {
+		return Row{}, fmt.Errorf("experiments: table2 %s: %d rows", app, len(rows))
 	}
-	return row, nil
+	return rows[0], nil
 }
 
-// Table2 computes the full comparison table.
-func Table2(opts Table2Options) ([]Row, error) {
-	opts.Normalize()
-	rows := make([]Row, 0, len(opts.Apps))
-	for _, app := range opts.Apps {
-		row, err := Table2Row(app, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table2 %s: %w", app, err)
-		}
-		rows = append(rows, row)
+// runGrid expands and executes a grid with the local in-process runner,
+// surfacing the first cell failure as an error (the experiment drivers
+// want complete tables, not partial ones).
+func runGrid(spec sweep.Spec, workers int) ([]sweep.Result, error) {
+	cells, err := sweep.Expand(spec)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	results, err := sweep.Run(cells, sweep.RunCell, sweep.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("cell %s: %w", r.Cell.Label(), r.Err)
+		}
+	}
+	return results, nil
 }
 
 // AblationResult records one configuration of an ablation sweep.
@@ -252,26 +283,31 @@ type AblationResult struct {
 
 // BudgetAblation measures how the R-PBLA result quality scales with the
 // evaluation budget — the knob behind the paper's "same running time"
-// protocol.
+// protocol. It is a one-dimensional sweep over the budget axis.
 func BudgetAblation(app string, budgets []int, seed int64) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, b := range budgets {
-		prob, err := problemFor(app, false, core.MaximizeSNR)
-		if err != nil {
-			return nil, err
-		}
-		ex, err := core.NewExploration(prob, core.Options{Budget: b, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		res, err := ex.Run(search.NewRPBLA())
-		if err != nil {
-			return nil, err
-		}
+	if len(budgets) == 0 {
+		// An empty budget list means "no configurations", not the sweep
+		// engine's default budget.
+		return nil, nil
+	}
+	results, err := runGrid(sweep.Spec{
+		Apps:       []config.AppSpec{{Builtin: app}},
+		Archs:      []config.ArchSpec{{Topology: "mesh"}},
+		Objectives: []string{"snr"},
+		Algorithms: []string{"rpbla"},
+		Budgets:    budgets,
+		Seeds:      []int64{seed},
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: budget ablation: %w", err)
+	}
+	// Results arrive in cell order — the caller's budget order.
+	out := make([]AblationResult, 0, len(results))
+	for _, r := range results {
 		out = append(out, AblationResult{
-			Label:  fmt.Sprintf("budget=%d", b),
-			SNRDB:  res.Score.WorstSNRDB,
-			LossDB: res.Score.WorstLossDB,
+			Label:  fmt.Sprintf("budget=%d", r.Cell.Budget),
+			SNRDB:  r.Run.Score.WorstSNRDB,
+			LossDB: r.Run.Score.WorstLossDB,
 		})
 	}
 	return out, nil
@@ -279,37 +315,29 @@ func BudgetAblation(app string, budgets []int, seed int64) ([]AblationResult, er
 
 // RouterAblation compares the Crux router against the crossbar baseline
 // on one application with the same optimizer and budget, demonstrating
-// why router microarchitecture matters for mapping quality.
+// why router microarchitecture matters for mapping quality. It is a
+// one-dimensional sweep over the architecture axis.
 func RouterAblation(app string, budget int, seed int64) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, routerName := range []string{"crux", "crossbar"} {
-		g, err := cg.App(app)
-		if err != nil {
-			return nil, err
-		}
-		side := SquareFor(g.NumTasks())
-		spec := config.DefaultArch(side, side)
-		spec.Router = routerName
-		nw, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		prob, err := core.NewProblem(g, nw, core.MaximizeSNR)
-		if err != nil {
-			return nil, err
-		}
-		ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		res, err := ex.Run(search.NewRPBLA())
-		if err != nil {
-			return nil, err
-		}
+	results, err := runGrid(sweep.Spec{
+		Apps: []config.AppSpec{{Builtin: app}},
+		Archs: []config.ArchSpec{
+			{Topology: "mesh", Router: "crux"},
+			{Topology: "mesh", Router: "crossbar"},
+		},
+		Objectives: []string{"snr"},
+		Algorithms: []string{"rpbla"},
+		Budgets:    []int{budget},
+		Seeds:      []int64{seed},
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: router ablation: %w", err)
+	}
+	out := make([]AblationResult, 0, len(results))
+	for _, r := range results {
 		out = append(out, AblationResult{
-			Label:  routerName,
-			SNRDB:  res.Score.WorstSNRDB,
-			LossDB: res.Score.WorstLossDB,
+			Label:  r.Cell.Arch.Router,
+			SNRDB:  r.Run.Score.WorstSNRDB,
+			LossDB: r.Run.Score.WorstLossDB,
 		})
 	}
 	return out, nil

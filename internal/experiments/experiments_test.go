@@ -3,6 +3,9 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/search"
 )
 
 func TestPaperAppsMatchesTableII(t *testing.T) {
@@ -177,6 +180,84 @@ func TestRouterAblation(t *testing.T) {
 	for _, r := range res {
 		if r.LossDB >= 0 {
 			t.Errorf("%s loss %v not negative", r.Label, r.LossDB)
+		}
+	}
+}
+
+func TestFig3AllMatchesSequential(t *testing.T) {
+	apps := []string{"PIP", "MWD"}
+	opts := Fig3Options{Samples: 150, Seed: 4}
+	all, err := Fig3All(apps, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("results = %d", len(all))
+	}
+	for i, app := range apps {
+		if all[i] == nil || all[i].App != app {
+			t.Fatalf("result %d out of order: %+v", i, all[i])
+		}
+		single, err := Fig3(app, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[i].SNRSummary.Mean() != single.SNRSummary.Mean() ||
+			all[i].LossSummary.Mean() != single.LossSummary.Mean() {
+			t.Errorf("%s: sharded Fig3 diverges from sequential", app)
+		}
+	}
+	if _, err := Fig3All([]string{"PIP", "nope"}, opts, 2); err == nil {
+		t.Error("Fig3All accepted an unknown app")
+	}
+}
+
+// TestTable2MatchesDirectExplorationLoop pins the sweep-engine refactor
+// to the original hand-rolled Table II loop: for every cell, one
+// core.NewExploration run per (topology, algorithm, objective) with the
+// option seed. If the sweep engine's normalization or seed derivation
+// ever drifts, the values diverge here.
+func TestTable2MatchesDirectExplorationLoop(t *testing.T) {
+	const (
+		app    = "PIP"
+		budget = 250
+	)
+	opts := Table2Options{Budget: budget, Seed: 6, Algorithms: []string{"rs", "rpbla"}}
+	row, err := Table2Row(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, torus := range []bool{false, true} {
+		cells := row.Mesh
+		if torus {
+			cells = row.Torus
+		}
+		for _, algo := range opts.Algorithms {
+			for _, obj := range []core.Objective{core.MaximizeSNR, core.MinimizeLoss} {
+				prob, err := problemFor(app, torus, obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := search.New(algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ex, err := core.NewExploration(prob, core.Options{Budget: budget, Seed: opts.Seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := ex.Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := cells[algo]
+				if obj == core.MaximizeSNR && got.SNRDB != res.Score.WorstSNRDB {
+					t.Errorf("torus=%v %s snr: sweep %v != direct %v", torus, algo, got.SNRDB, res.Score.WorstSNRDB)
+				}
+				if obj == core.MinimizeLoss && got.LossDB != res.Score.WorstLossDB {
+					t.Errorf("torus=%v %s loss: sweep %v != direct %v", torus, algo, got.LossDB, res.Score.WorstLossDB)
+				}
+			}
 		}
 	}
 }

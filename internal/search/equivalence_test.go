@@ -15,6 +15,11 @@ import (
 // candidate scored through ctx.Evaluate, i.e. a full from-scratch
 // evaluation — and the tests assert that the live searchers reproduce
 // their RunResult (Mapping, Score, Evals) exactly under equal seeds.
+// (Exception: refGA carries the same clone-score-inheritance budget fix
+// as the live GA — an unmutated clone child reuses its parent's cached
+// score instead of re-spending a budget unit — so the pair still proves
+// full-vs-incremental evaluation-path equivalence under the corrected
+// accounting.)
 //
 // Both sides run against the same Evaluator, so what is proven is
 // strategy equivalence: identical candidate sequences, identical RNG
@@ -277,6 +282,7 @@ func (g refGA) Search(ctx *core.Context) error {
 
 	next := make([]individual, 0, g.cfg.PopSize)
 	for !ctx.Exhausted() {
+		spentBefore := ctx.Evals()
 		next = next[:0]
 		sortByScore(pop)
 		for i := 0; i < g.cfg.Elite; i++ {
@@ -289,7 +295,9 @@ func (g refGA) Search(ctx *core.Context) error {
 			if rng.Float64() < g.cfg.CrossoverRate {
 				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
 			} else {
-				child = individual{perm: clonePerm(p1.perm)}
+				// Clone children inherit the parent's cached score (the GA
+				// budget-accounting fix); mutation flips valid below.
+				child = individual{perm: clonePerm(p1.perm), score: p1.score, valid: true}
 			}
 			for rng.Float64() < g.cfg.MutationRate {
 				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
@@ -306,6 +314,9 @@ func (g refGA) Search(ctx *core.Context) error {
 			next = append(next, child)
 		}
 		pop, next = next, pop
+		if ctx.Evals() == spentBefore && g.cfg.CrossoverRate == 0 && g.cfg.MutationRate == 0 {
+			return nil
+		}
 	}
 	return nil
 }

@@ -139,6 +139,7 @@ func (g *GA) Search(ctx *core.Context) error {
 
 	next := make([]individual, 0, g.PopSize)
 	for !ctx.Exhausted() {
+		spentBefore := ctx.Evals()
 		next = next[:0]
 		// Elitism: carry the best individuals over unchanged.
 		sortByScore(pop)
@@ -153,7 +154,13 @@ func (g *GA) Search(ctx *core.Context) error {
 			if rng.Float64() < g.CrossoverRate {
 				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
 			} else {
-				child = individual{perm: clonePerm(p1.perm)}
+				// A clone starts as an exact copy of its parent and
+				// inherits the parent's cached score: re-evaluating it
+				// would burn a budget unit for no information — an
+				// effective-budget leak under the equal-budget protocol.
+				// Mutation below flips valid, forcing an evaluation only
+				// when the mapping actually changed.
+				child = individual{perm: clonePerm(p1.perm), score: p1.score, valid: true}
 				viaDelta = true // a mutated clone is a short swap chain
 			}
 			for rng.Float64() < g.MutationRate {
@@ -171,6 +178,15 @@ func (g *GA) Search(ctx *core.Context) error {
 			next = append(next, child)
 		}
 		pop, next = next, pop
+		if ctx.Evals() == spentBefore && g.CrossoverRate == 0 && g.MutationRate == 0 {
+			// Every child was an unmutated clone and the rates guarantee
+			// every future generation will be too: with score inheritance
+			// such generations are free, so without this stop the loop
+			// would spin forever. A free generation under positive rates
+			// is just luck — later generations can still mutate, so the
+			// search keeps its budget and continues.
+			return nil
+		}
 	}
 	return nil
 }

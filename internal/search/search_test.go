@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -198,6 +199,158 @@ func TestGAValidation(t *testing.T) {
 			t.Errorf("bad GA config %d accepted", i)
 		}
 	}
+}
+
+func TestGACloneChildrenSpendNoBudget(t *testing.T) {
+	// Budget accounting under the equal-budget protocol: a mutation-free,
+	// crossover-free GA can only produce unmutated clone children after
+	// the initial population, and clones inherit their parent's cached
+	// score. The run must therefore spend exactly PopSize evaluations —
+	// one per unique mapping scored — and terminate instead of burning
+	// budget on re-evaluating identical mappings.
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	g := &GA{PopSize: 10, Elite: 2, TournamentK: 3, CrossoverRate: 0, MutationRate: 0}
+	ctx, err := core.NewContext(p, rand.New(rand.NewSource(5)), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := make(map[string]bool)
+	evaluations := 0
+	ctx.OnEvaluate = func(m core.Mapping, _ core.Score) {
+		evaluations++
+		scored[fmt.Sprint(m)] = true
+	}
+	if err := g.Search(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Evals() != g.PopSize {
+		t.Errorf("mutation-free GA spent %d evals, want exactly PopSize=%d", ctx.Evals(), g.PopSize)
+	}
+	if evaluations != len(scored) {
+		t.Errorf("%d evaluations for %d unique mappings: budget spent on duplicates", evaluations, len(scored))
+	}
+}
+
+func TestGABudgetDifferentialVsCloneReevaluation(t *testing.T) {
+	// Differential form of the same fix: gaCloneReeval below restores the
+	// old buggy behavior (clone children re-evaluated even when
+	// unmutated). With zero crossover and a low mutation rate the buggy
+	// variant must evaluate strictly more mappings than unique mappings
+	// seen, while the fixed GA never does.
+	p := problem(t, "PIP", 3, 3, core.MaximizeSNR)
+	countRun := func(s core.Searcher) (evals int, unique int) {
+		ctx, err := core.NewContext(p.Clone(), rand.New(rand.NewSource(9)), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		ctx.OnEvaluate = func(m core.Mapping, _ core.Score) {
+			evals++
+			seen[fmt.Sprint(m)] = true
+		}
+		if err := s.Search(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return evals, len(seen)
+	}
+	cfg := GA{PopSize: 8, Elite: 1, TournamentK: 2, CrossoverRate: 0, MutationRate: 0.3}
+	fixedEvals, fixedUnique := countRun(&cfg)
+	buggyEvals, buggyUnique := countRun(gaCloneReeval{cfg: cfg})
+	if buggyEvals <= buggyUnique {
+		t.Fatalf("clone-reevaluating GA spent %d evals on %d unique mappings; expected waste", buggyEvals, buggyUnique)
+	}
+	// The fixed GA may still legitimately re-evaluate a mapping that a
+	// *different* lineage produced (mutation chains can land on a
+	// previously seen permutation); only clone-identity waste is
+	// eliminated, so its duplicate rate must be strictly below the buggy
+	// variant's under the same seed.
+	fixedWaste := fixedEvals - fixedUnique
+	buggyWaste := buggyEvals - buggyUnique
+	if fixedWaste >= buggyWaste {
+		t.Errorf("fixed GA wasted %d/%d evals, clone-reevaluating GA wasted %d/%d: fix removed no waste",
+			fixedWaste, fixedEvals, buggyWaste, buggyEvals)
+	}
+}
+
+// gaCloneReeval is the pre-fix GA: clone children do not inherit their
+// parent's score and are re-evaluated even when unmutated.
+type gaCloneReeval struct{ cfg GA }
+
+func (g gaCloneReeval) Name() string { return "ga-clone-reeval" }
+
+func (g gaCloneReeval) Search(ctx *core.Context) error {
+	if err := g.cfg.validate(); err != nil {
+		return err
+	}
+	rng := ctx.Rng()
+	numTasks := ctx.Problem().NumTasks()
+	numTiles := ctx.Problem().NumTiles()
+	evaluate := func(ind *individual) (bool, error) {
+		if ind.valid {
+			return true, nil
+		}
+		s, ok, err := ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		if err != nil || !ok {
+			return ok, err
+		}
+		ind.score, ind.valid = s, true
+		return true, nil
+	}
+	pop := make([]individual, g.cfg.PopSize)
+	for i := range pop {
+		perm := make([]topo.TileID, numTiles)
+		for j, v := range rng.Perm(numTiles) {
+			perm[j] = topo.TileID(v)
+		}
+		pop[i] = individual{perm: perm}
+		if ok, err := evaluate(&pop[i]); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
+	}
+	tournament := func() *individual {
+		best := &pop[rng.Intn(len(pop))]
+		for i := 1; i < g.cfg.TournamentK; i++ {
+			c := &pop[rng.Intn(len(pop))]
+			if c.score.Better(best.score) {
+				best = c
+			}
+		}
+		return best
+	}
+	next := make([]individual, 0, g.cfg.PopSize)
+	for !ctx.Exhausted() {
+		next = next[:0]
+		sortByScore(pop)
+		for i := 0; i < g.cfg.Elite; i++ {
+			next = append(next, individual{perm: clonePerm(pop[i].perm), score: pop[i].score, valid: true})
+		}
+		for len(next) < g.cfg.PopSize {
+			p1, p2 := tournament(), tournament()
+			var child individual
+			if rng.Float64() < g.cfg.CrossoverRate {
+				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
+			} else {
+				child = individual{perm: clonePerm(p1.perm)} // no score inheritance: the bug
+			}
+			for rng.Float64() < g.cfg.MutationRate {
+				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
+				child.perm[i], child.perm[j] = child.perm[j], child.perm[i]
+				child.valid = false
+			}
+			if !child.valid {
+				if ok, err := evaluate(&child); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+			next = append(next, child)
+		}
+		pop, next = next, pop
+	}
+	return nil
 }
 
 func TestPMXProducesPermutations(t *testing.T) {

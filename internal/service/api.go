@@ -11,9 +11,19 @@
 //	GET    /v1/jobs/{id}/result finished result        -> JobResult
 //	GET    /v1/jobs/{id}/trace  convergence trace      -> JobTrace
 //	DELETE /v1/jobs/{id}        cancel                 -> JobStatus
+//	POST   /v1/sweeps          submit a design-space sweep (SweepRequest) -> SweepStatus
+//	GET    /v1/sweeps          list known sweeps      -> []SweepStatus
+//	GET    /v1/sweeps/{id}        live per-cell progress -> SweepStatus
+//	GET    /v1/sweeps/{id}/result aggregated results     -> SweepResult
+//	DELETE /v1/sweeps/{id}        cancel                 -> SweepStatus
 //	GET    /v1/apps            bundled applications   -> []AppInfo
 //	GET    /v1/algorithms      available algorithms   -> []string
 //	GET    /healthz            liveness + pool stats  -> Health
+//
+// A sweep expands a grid (apps x architectures x objectives x
+// algorithms x budgets x seeds) into cells; every cell is exactly one
+// job spec, executed on the same worker pool and answered from the same
+// content-addressed result cache as individually submitted jobs.
 package service
 
 import (
@@ -149,17 +159,21 @@ func buildProblem(spec Spec) (*core.Problem, error) {
 
 // JobStatus is the wire representation of a job's lifecycle state.
 type JobStatus struct {
-	ID        string      `json:"id"`
-	State     State       `json:"state"`
-	Cached    bool        `json:"cached,omitempty"`
-	Spec      Spec        `json:"spec"`
-	Submitted string      `json:"submitted,omitempty"`
-	Started   string      `json:"started,omitempty"`
-	Finished  string      `json:"finished,omitempty"`
-	Evals     int         `json:"evals"`
-	Budget    int         `json:"budget"` // total across islands
-	Best      *core.Score `json:"best,omitempty"`
-	Error     string      `json:"error,omitempty"`
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Cached    bool   `json:"cached,omitempty"`
+	Spec      Spec   `json:"spec"`
+	Submitted string `json:"submitted,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	Evals     int    `json:"evals"`
+	// IslandEvals is the per-island evaluation breakdown (one entry per
+	// seed). Cache hits replay the live run's breakdown verbatim, so the
+	// status shape is identical across hit and miss.
+	IslandEvals []int       `json:"island_evals,omitempty"`
+	Budget      int         `json:"budget"` // total across islands
+	Best        *core.Score `json:"best,omitempty"`
+	Error       string      `json:"error,omitempty"`
 }
 
 // JobResult is the GET /v1/jobs/{id}/result payload of a finished job.

@@ -16,13 +16,15 @@ type CacheStats struct {
 }
 
 // cacheEntry is one cached computation: the winning run, its convergence
-// trace, and the total evaluations spent across islands, keyed by the
-// spec's content address.
+// trace, and the per-island evaluation breakdown of the live run, keyed
+// by the spec's content address. The breakdown is preserved verbatim so
+// a cache hit replays exactly the shape the live run reported — one
+// entry per island, not a collapsed total.
 type cacheEntry struct {
-	key   string
-	res   core.RunResult
-	trace []TraceEvent
-	evals int
+	key         string
+	res         core.RunResult
+	trace       []TraceEvent
+	islandEvals []int
 }
 
 // resultCache is a bounded LRU of completed results. Optimization runs
@@ -46,23 +48,23 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns the cached result for key, refreshing its recency.
-func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, int, bool) {
+func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, []int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return core.RunResult{}, nil, 0, false
+		return core.RunResult{}, nil, nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.res, e.trace, e.evals, true
+	return e.res, e.trace, e.islandEvals, true
 }
 
 // put stores a completed result, evicting the least recently used entry
 // when the cache is full.
-func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, evals int) {
+func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, islandEvals []int) {
 	if c.cap <= 0 {
 		return
 	}
@@ -73,10 +75,10 @@ func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, ev
 		e := el.Value.(*cacheEntry)
 		e.res = res
 		e.trace = trace
-		e.evals = evals
+		e.islandEvals = islandEvals
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, evals: evals})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, islandEvals: islandEvals})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

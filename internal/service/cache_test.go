@@ -13,12 +13,12 @@ func TestResultCacheLRU(t *testing.T) {
 	res := func(cost float64) core.RunResult {
 		return core.RunResult{Score: core.Score{Cost: cost}}
 	}
-	c.put("a", res(1), nil, 10)
-	c.put("b", res(2), nil, 20)
+	c.put("a", res(1), nil, []int{10})
+	c.put("b", res(2), nil, []int{20})
 	if _, _, _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", res(3), nil, 30) // evicts b (a was just touched)
+	c.put("c", res(3), nil, []int{30}) // evicts b (a was just touched)
 	if _, _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
@@ -37,8 +37,9 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 
 	// Overwriting an existing key must not grow the cache.
-	c.put("a", res(10), []TraceEvent{{Evals: 1}}, 99)
-	if r, tr, ev, ok := c.get("a"); !ok || r.Score.Cost != 10 || len(tr) != 1 || ev != 99 {
+	c.put("a", res(10), []TraceEvent{{Evals: 1}}, []int{99, 101})
+	if r, tr, ev, ok := c.get("a"); !ok || r.Score.Cost != 10 || len(tr) != 1 ||
+		len(ev) != 2 || ev[0] != 99 || ev[1] != 101 {
 		t.Error("overwrite lost data")
 	}
 	if c.stats().Size != 2 {
@@ -48,28 +49,64 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.put("a", core.RunResult{}, nil, 1)
+	c.put("a", core.RunResult{}, nil, []int{1})
 	if _, _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache stored an entry")
 	}
 }
 
-func TestResultCacheConcurrent(t *testing.T) {
-	c := newResultCache(8)
+// TestResultCacheConcurrentHammer drives the cache from many goroutines
+// with a key space much larger than the capacity, so every operation mix
+// occurs concurrently: hits, misses, overwrites, LRU evictions and stats
+// reads. Run under -race (the CI race step covers this package) it
+// proves the mutex discipline of get/put/stats.
+func TestResultCacheConcurrentHammer(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 12
+		iters      = 400
+		keySpace   = 64 // >> capacity: constant eviction pressure
+	)
+	c := newResultCache(capacity)
 	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
+	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				key := fmt.Sprintf("k%d", (g+i)%16)
-				c.put(key, core.RunResult{Score: core.Score{Cost: float64(i)}}, nil, i)
-				c.get(key)
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%keySpace)
+				switch i % 4 {
+				case 0:
+					c.put(key, core.RunResult{Score: core.Score{Cost: float64(i)}},
+						[]TraceEvent{{Evals: i}}, []int{i, i + 1})
+				case 1:
+					if res, trace, islands, ok := c.get(key); ok {
+						// An entry must always be read back whole: case 0
+						// writes (trace len 1, islands len 2), case 2
+						// writes (no trace, islands len 1). Any other
+						// combination means a torn entry.
+						if len(islands) == 0 ||
+							(len(trace) == 1) != (len(islands) == 2) {
+							t.Errorf("torn cache entry: res=%+v trace=%d islands=%v",
+								res.Score, len(trace), islands)
+							return
+						}
+					}
+				case 2:
+					c.put(key, core.RunResult{}, nil, []int{i})
+					c.get(fmt.Sprintf("k%d", i%keySpace))
+				default:
+					c.stats()
+				}
 			}
 		}(g)
 	}
 	wg.Wait()
-	if c.stats().Size > 8 {
-		t.Errorf("cache exceeded capacity: %d", c.stats().Size)
+	st := c.stats()
+	if st.Size > capacity {
+		t.Errorf("cache exceeded capacity: %d > %d", st.Size, capacity)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Error("hammer recorded no lookups")
 	}
 }

@@ -75,11 +75,18 @@ func newJob(id string, spec Spec, key string, prob *core.Problem, noCache bool, 
 }
 
 // newCachedJob materializes a cache hit as an already-finished job so
-// hits and misses share one lifecycle and API shape. evals is the
-// original job's total across islands, so the replayed status reports
-// the same numbers the live run ended with.
-func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, evals int) *Job {
+// hits and misses share one lifecycle and API shape. islandEvals is the
+// original job's per-island breakdown, replayed verbatim so a hit for a
+// multi-seed spec reports the same number of islands — and the same
+// totals — the live run ended with, and clients diffing status across
+// hit and miss see one shape.
+func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, islandEvals []int) *Job {
 	now := time.Now()
+	// Every cache entry is written from a finished job's snapshot, whose
+	// breakdown has exactly spec.Seeds (>= 1) entries — copy it so the
+	// replayed job cannot alias the cache's slice.
+	evals := make([]int, len(islandEvals))
+	copy(evals, islandEvals)
 	j := &Job{
 		id:     id,
 		spec:   spec,
@@ -93,7 +100,7 @@ func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []
 		submitted:   now,
 		started:     now,
 		finished:    now,
-		islandEvals: []int{evals},
+		islandEvals: evals,
 		result:      &res,
 		trace:       trace,
 	}
@@ -217,6 +224,16 @@ func (j *Job) foldEvals() int {
 	return j.totalEvalsLocked()
 }
 
+// snapshotIslandEvals copies the per-island evaluation counters under
+// the lock — the breakdown a cache entry preserves for replay.
+func (j *Job) snapshotIslandEvals() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]int, len(j.islandEvals))
+	copy(out, j.islandEvals)
+	return out
+}
+
 func (j *Job) unfoldedEvals() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -284,17 +301,20 @@ func (j *Job) status() JobStatus {
 	if j.result != nil && j.result.Evals > evals {
 		evals = j.result.Evals
 	}
+	islands := make([]int, len(j.islandEvals))
+	copy(islands, j.islandEvals)
 	st := JobStatus{
-		ID:        j.id,
-		State:     j.state,
-		Cached:    j.cached,
-		Spec:      j.spec,
-		Submitted: rfc3339(j.submitted),
-		Started:   rfc3339(j.started),
-		Finished:  rfc3339(j.finished),
-		Evals:     evals,
-		Budget:    j.spec.Budget * max(j.spec.Seeds, 1),
-		Error:     j.errMsg,
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		Spec:        j.spec,
+		Submitted:   rfc3339(j.submitted),
+		Started:     rfc3339(j.started),
+		Finished:    rfc3339(j.finished),
+		Evals:       evals,
+		IslandEvals: islands,
+		Budget:      j.spec.Budget * max(j.spec.Seeds, 1),
+		Error:       j.errMsg,
 	}
 	if j.best != nil {
 		b := *j.best

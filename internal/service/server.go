@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"phonocmap/internal/core"
 	"phonocmap/internal/search"
+	"phonocmap/internal/sweep"
 )
 
 // Config sizes the service.
@@ -34,6 +36,13 @@ type Config struct {
 	MaxBudget int
 	// MaxSeeds caps a request's island count (default 64).
 	MaxSeeds int
+	// MaxSweepCells caps the grid size of a single sweep request
+	// (default 1024). Every cell is bounded by MaxBudget/MaxSeeds like an
+	// individual job.
+	MaxSweepCells int
+	// MaxSweeps bounds the sweep registry; the oldest finished sweeps are
+	// evicted past it (default 128).
+	MaxSweeps int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +67,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSeeds <= 0 {
 		c.MaxSeeds = 64
 	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 1024
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 128
+	}
 	return c
 }
 
@@ -73,8 +88,9 @@ type Server struct {
 	stop    context.CancelFunc
 	workers sync.WaitGroup
 
-	nextID atomic.Uint64
-	closed atomic.Bool
+	nextID    atomic.Uint64
+	nextSweep atomic.Uint64
+	closed    atomic.Bool
 
 	// evalsDone counts the evaluations of finished (terminal) jobs;
 	// in-flight evaluations are summed from the live jobs on demand.
@@ -82,9 +98,11 @@ type Server struct {
 	evalsDone atomic.Int64
 	started   time.Time
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // insertion order, for listing and eviction
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string // insertion order, for listing and eviction
+	sweeps     map[string]*Sweep
+	sweepOrder []string
 }
 
 // New builds a server and starts its worker pool. Call Shutdown to stop
@@ -101,6 +119,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
+		sweeps:  make(map[string]*Sweep),
 		started: time.Now(),
 	}
 	s.routes()
@@ -118,6 +137,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -233,7 +257,7 @@ func (s *Server) runJob(j *Job) {
 		j.finish(StateDone, &r, nil)
 		if !j.noCache {
 			_, trace = j.snapshotTrace()
-			s.cache.put(j.key, res, trace, j.totalEvals())
+			s.cache.put(j.key, res, trace, j.snapshotIslandEvals())
 		}
 	}
 }
@@ -269,27 +293,36 @@ func (s *Server) runIslands(j *Job) (core.RunResult, error) {
 	return best, err
 }
 
+// evictOldestTerminal compacts an insertion-ordered registry down
+// toward limit by deleting the oldest entries that reached a terminal
+// state (live entries are never evicted, so the registry may
+// transiently exceed the limit). It returns the compacted order.
+func evictOldestTerminal[T any](order []string, entries map[string]T, limit int, terminal func(T) bool) []string {
+	if len(order) <= limit {
+		return order
+	}
+	kept := order[:0]
+	excess := len(order) - limit
+	for _, id := range order {
+		e, ok := entries[id]
+		if excess > 0 && ok && terminal(e) {
+			delete(entries, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	return kept
+}
+
 // register stores a job, evicting the oldest finished jobs past MaxJobs.
 func (s *Server) register(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	if len(s.order) <= s.cfg.MaxJobs {
-		return
-	}
-	kept := s.order[:0]
-	excess := len(s.order) - s.cfg.MaxJobs
-	for _, id := range s.order {
-		job := s.jobs[id]
-		if excess > 0 && job != nil && job.currentState().Terminal() {
-			delete(s.jobs, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	s.order = kept
+	s.order = evictOldestTerminal(s.order, s.jobs, s.cfg.MaxJobs,
+		func(j *Job) bool { return j.currentState().Terminal() })
 }
 
 func (s *Server) job(id string) (*Job, bool) {
@@ -299,11 +332,57 @@ func (s *Server) job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// newJobID mints the next job identifier.
+func (s *Server) newJobID() string {
+	return fmt.Sprintf("job-%06d", s.nextID.Add(1))
+}
+
+// registerSweep stores a sweep, evicting the oldest finished sweeps past
+// MaxSweeps.
+func (s *Server) registerSweep(sw *Sweep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	s.sweepOrder = evictOldestTerminal(s.sweepOrder, s.sweeps, s.cfg.MaxSweeps,
+		func(sw *Sweep) bool { return sw.currentState().Terminal() })
+}
+
+func (s *Server) sweepByID(id string) (*Sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// activeSweeps counts the sweeps that have not yet reached a terminal
+// state — the admission-control gauge for handleSweepSubmit.
+func (s *Server) activeSweeps() int {
+	s.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	s.mu.Unlock()
+	active := 0
+	for _, sw := range sweeps {
+		if !sw.currentState().Terminal() {
+			active++
+		}
+	}
+	return active
+}
+
 // --- HTTP handlers ---
 
 type apiError struct {
 	Error string `json:"error"`
 }
+
+// maxRequestBytes bounds submit payloads: generous for any legitimate
+// custom app graph or sweep grid, small enough that a flood of oversized
+// bodies cannot balloon decoder memory.
+const maxRequestBytes = 4 << 20
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -318,7 +397,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 		return
 	}
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
@@ -331,11 +410,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := spec.Key()
-	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	id := s.newJobID()
 
 	if !req.NoCache {
-		if res, trace, evals, ok := s.cache.get(key); ok {
-			j := newCachedJob(id, spec, key, res, trace, evals)
+		if res, trace, islandEvals, ok := s.cache.get(key); ok {
+			j := newCachedJob(id, spec, key, res, trace, islandEvals)
 			s.register(j)
 			writeJSON(w, http.StatusOK, j.status())
 			return
@@ -435,6 +514,120 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	// Bound live sweeps before decoding: MaxSweeps only evicts finished
+	// sweeps from the registry, so without this gate a flood of
+	// submissions would accumulate unbounded in-flight work — the sweep
+	// analogue of the job queue's 503 on saturation.
+	if active := s.activeSweeps(); active >= s.cfg.MaxSweeps {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{
+			Error: fmt.Sprintf("%d sweeps in flight (limit %d); retry later", active, s.cfg.MaxSweeps),
+		})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	grid := req.grid()
+	// Size() saturates instead of overflowing, so adversarially long
+	// dimension lists cannot wrap the product past this check.
+	if size := grid.Size(); size > s.cfg.MaxSweepCells {
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: fmt.Sprintf("service: sweep expands to %d cells, limit %d", size, s.cfg.MaxSweepCells),
+		})
+		return
+	}
+	cells, err := sweep.Expand(grid)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	// Normalize every cell into a job spec up front so the whole grid is
+	// validated against the per-job limits before any cell runs.
+	scs := make([]sweepCell, 0, len(cells))
+	lim := Limits{MaxBudget: s.cfg.MaxBudget, MaxSeeds: s.cfg.MaxSeeds}
+	for _, c := range cells {
+		spec, err := normalize(Request{
+			App:       c.App,
+			Arch:      c.Arch,
+			Objective: c.Objective,
+			Algorithm: c.Algorithm,
+			Budget:    c.Budget,
+			Seed:      c.Seed,
+			Seeds:     c.Islands,
+		}, lim)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: fmt.Sprintf("cell %s: %v", c.Label(), err),
+			})
+			return
+		}
+		scs = append(scs, sweepCell{cell: c, spec: spec, key: spec.Key()})
+	}
+
+	id := fmt.Sprintf("sweep-%06d", s.nextSweep.Add(1))
+	sw := newSweep(id, scs, req.NoCache, s.baseCtx)
+	s.registerSweep(sw)
+	go s.runSweep(sw)
+	writeJSON(w, http.StatusAccepted, sw.status())
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		if sw, ok := s.sweeps[id]; ok {
+			sweeps = append(sweeps, sw)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(sweeps))
+	for _, sw := range sweeps {
+		out = append(out, sw.summary())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	if !sw.currentState().Terminal() {
+		writeJSON(w, http.StatusAccepted, sw.status())
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.result())
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	sw.Cancel()
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, Apps())
 }
@@ -464,10 +657,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	total := done + unfolded
 	uptime := time.Since(s.started).Seconds()
-	perSec := 0.0
-	if uptime > 0 {
-		perSec = float64(total) / uptime
-	}
+	// Clamp the denominator to one second: right after startup the true
+	// uptime is near zero and a plain division would report an absurd
+	// throughput spike (a fast cached burst could read as millions of
+	// evals/sec), which poisons dashboards and autoscaling signals.
+	perSec := float64(total) / math.Max(uptime, 1)
 	writeJSON(w, http.StatusOK, Health{
 		Status:        status,
 		Workers:       s.cfg.Workers,

@@ -186,8 +186,18 @@ func TestIslandsJob(t *testing.T) {
 	if res.Evals != 1234 {
 		t.Errorf("winning island spent %d evals, want 1234", res.Evals)
 	}
+	if len(final.IslandEvals) != 3 {
+		t.Fatalf("live islands status reports %d islands, want 3 (%v)", len(final.IslandEvals), final.IslandEvals)
+	}
+	for i, e := range final.IslandEvals {
+		if e != 1234 {
+			t.Errorf("island %d spent %d evals, want 1234", i, e)
+		}
+	}
 
-	// A cached replay must report the same totals as the live run.
+	// A cached replay must report the same totals AND the same per-island
+	// shape as the live run — a hit for a multi-seed spec must not
+	// collapse the breakdown into a single pseudo-island.
 	var cached JobStatus
 	if code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &cached); code != http.StatusOK {
 		t.Fatalf("cached submit returned %d", code)
@@ -195,6 +205,15 @@ func TestIslandsJob(t *testing.T) {
 	if !cached.Cached || cached.Evals != final.Evals || cached.Budget != final.Budget {
 		t.Errorf("cached islands status (cached=%v evals=%d budget=%d) != live (%d/%d)",
 			cached.Cached, cached.Evals, cached.Budget, final.Evals, final.Budget)
+	}
+	if len(cached.IslandEvals) != len(final.IslandEvals) {
+		t.Fatalf("cached replay reports %d islands, live run reported %d",
+			len(cached.IslandEvals), len(final.IslandEvals))
+	}
+	for i := range cached.IslandEvals {
+		if cached.IslandEvals[i] != final.IslandEvals[i] {
+			t.Errorf("cached island %d evals %d != live %d", i, cached.IslandEvals[i], final.IslandEvals[i])
+		}
 	}
 }
 
@@ -446,6 +465,46 @@ func TestHealthzEvalCounters(t *testing.T) {
 	}
 	if h2.TotalEvals != 400 {
 		t.Errorf("cache hit changed total_evals: %d", h2.TotalEvals)
+	}
+}
+
+// TestHealthzRateGuard: evals_per_sec divides by a clamped uptime
+// (>= 1s), so a burst of work right after startup can never report a
+// rate above the absolute evaluation count — the near-zero-denominator
+// spike is structurally impossible.
+func TestHealthzRateGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	base := ts.URL
+
+	// Fresh server: zero evals, zero rate, regardless of uptime.
+	var h0 Health
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h0); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if h0.EvalsPerSec != 0 {
+		t.Errorf("fresh server evals_per_sec = %v, want 0", h0.EvalsPerSec)
+	}
+
+	// Finish a quick job well inside the first second of uptime; the
+	// clamp caps the reported rate at total_evals / 1s.
+	req := Request{Algorithm: "rs", Budget: 500, Seed: 8}
+	req.App.Builtin = "PIP"
+	var st JobStatus
+	if code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	pollUntil(t, base, st.ID, 30*time.Second, func(s JobStatus) bool { return s.State.Terminal() })
+
+	var h1 Health
+	if code := doJSON(t, http.MethodGet, base+"/healthz", nil, &h1); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if h1.EvalsPerSec > float64(h1.TotalEvals) {
+		t.Errorf("evals_per_sec %v exceeds total_evals %d: uptime denominator not clamped",
+			h1.EvalsPerSec, h1.TotalEvals)
+	}
+	if h1.TotalEvals > 0 && h1.EvalsPerSec <= 0 {
+		t.Errorf("evals_per_sec = %v with %d total evals", h1.EvalsPerSec, h1.TotalEvals)
 	}
 }
 

@@ -1,0 +1,186 @@
+package sweep
+
+import (
+	"sort"
+
+	"phonocmap/internal/core"
+)
+
+// TableCell is one algorithm/topology cell of a comparison table: the
+// best worst-case SNR found under the "snr" objective and the best
+// worst-case loss found under the "loss" objective, à la Table II.
+type TableCell struct {
+	SNRDB  float64 `json:"snr_db"`
+	LossDB float64 `json:"loss_db"`
+	Evals  int     `json:"evals"`
+}
+
+// TableRow is one application row of the comparison table: per-algorithm
+// cells for the mesh and torus topologies.
+type TableRow struct {
+	App   string               `json:"app"`
+	Mesh  map[string]TableCell `json:"mesh"`
+	Torus map[string]TableCell `json:"torus"`
+}
+
+// Table folds sweep results into Table II comparison rows: one row per
+// application (in order of first appearance), one cell per
+// (topology, algorithm) with the SNR column taken from "snr"-objective
+// cells and the loss column from "loss"-objective cells. When the grid
+// spans several budgets or seeds, each column reports the best score any
+// of those cells found (ties keep the earlier cell), honoring the
+// "best ... found" semantics of TableCell. Results from topologies other
+// than mesh/torus, and failed cells, are skipped.
+func Table(results []Result) []TableRow {
+	type slot struct{ app, topo, algo, obj string }
+	bestCost := make(map[slot]float64)
+	byApp := make(map[string]*TableRow)
+	var order []string
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		switch r.Cell.Arch.Topology {
+		case "mesh", "torus":
+		default:
+			continue
+		}
+		switch r.Cell.Objective {
+		case "snr", "loss":
+		default:
+			continue
+		}
+		app := r.Cell.AppName()
+		row, ok := byApp[app]
+		if !ok {
+			row = &TableRow{
+				App:   app,
+				Mesh:  make(map[string]TableCell),
+				Torus: make(map[string]TableCell),
+			}
+			byApp[app] = row
+			order = append(order, app)
+		}
+		cells := row.Mesh
+		if r.Cell.Arch.Topology == "torus" {
+			cells = row.Torus
+		}
+		k := slot{app, r.Cell.Arch.Topology, r.Cell.Algorithm, r.Cell.Objective}
+		if prev, seen := bestCost[k]; seen && prev <= r.Run.Score.Cost {
+			continue
+		}
+		bestCost[k] = r.Run.Score.Cost
+		cell := cells[r.Cell.Algorithm]
+		if r.Cell.Objective == "snr" {
+			cell.SNRDB = r.Run.Score.WorstSNRDB
+		} else {
+			cell.LossDB = r.Run.Score.WorstLossDB
+		}
+		cell.Evals = r.Run.Evals
+		cells[r.Cell.Algorithm] = cell
+	}
+	rows := make([]TableRow, 0, len(order))
+	for _, app := range order {
+		rows = append(rows, *byApp[app])
+	}
+	return rows
+}
+
+// BudgetPoint is one point of a budget-ablation curve: the result
+// quality one algorithm reached on one application, topology and
+// objective at one budget.
+type BudgetPoint struct {
+	App       string  `json:"app"`
+	Topology  string  `json:"topology"`
+	Objective string  `json:"objective"`
+	Algorithm string  `json:"algorithm"`
+	Budget    int     `json:"budget"`
+	SNRDB     float64 `json:"snr_db"`
+	LossDB    float64 `json:"loss_db"`
+	Evals     int     `json:"evals"`
+}
+
+// BudgetCurves folds sweep results into budget-ablation curves, sorted
+// by application, topology, objective, algorithm, then ascending budget
+// — how result quality scales with the evaluation budget, the knob
+// behind the paper's "same running time" protocol. Both score columns
+// come from each cell's single run (a Score carries both metrics
+// regardless of objective).
+func BudgetCurves(results []Result) []BudgetPoint {
+	var pts []BudgetPoint
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		pts = append(pts, BudgetPoint{
+			App:       r.Cell.AppName(),
+			Topology:  r.Cell.Arch.Topology,
+			Objective: r.Cell.Objective,
+			Algorithm: r.Cell.Algorithm,
+			Budget:    r.Cell.Budget,
+			SNRDB:     r.Run.Score.WorstSNRDB,
+			LossDB:    r.Run.Score.WorstLossDB,
+			Evals:     r.Run.Evals,
+		})
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		switch {
+		case a.App != b.App:
+			return a.App < b.App
+		case a.Topology != b.Topology:
+			return a.Topology < b.Topology
+		case a.Objective != b.Objective:
+			return a.Objective < b.Objective
+		case a.Algorithm != b.Algorithm:
+			return a.Algorithm < b.Algorithm
+		default:
+			return a.Budget < b.Budget
+		}
+	})
+	return pts
+}
+
+// ParetoFronts builds, per application, the Pareto front of
+// (worst-case loss, worst-case SNR) over the best mappings of every
+// successful cell — the multi-objective view of a sweep whose cells
+// optimized different single objectives.
+func ParetoFronts(results []Result) map[string][]core.ParetoPoint {
+	fronts := make(map[string]*core.ParetoFront)
+	for _, r := range results {
+		if r.Err != nil || r.Run.Mapping == nil {
+			continue
+		}
+		app := r.Cell.AppName()
+		f, ok := fronts[app]
+		if !ok {
+			f = &core.ParetoFront{}
+			fronts[app] = f
+		}
+		f.Offer(r.Run.Mapping, r.Run.Score)
+	}
+	out := make(map[string][]core.ParetoPoint, len(fronts))
+	for app, f := range fronts {
+		out[app] = f.Points()
+	}
+	return out
+}
+
+// BestCells returns the best result per (application, objective) pair —
+// cost comparisons are only meaningful within one objective. Keys are
+// "app/objective". Ties break toward the lower cell index (results
+// arrive in cell order), so the selection is deterministic regardless of
+// execution scheduling.
+func BestCells(results []Result) map[string]Result {
+	best := make(map[string]Result)
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		key := r.Cell.AppName() + "/" + r.Cell.Objective
+		if cur, ok := best[key]; !ok || r.Run.Score.Better(cur.Run.Score) {
+			best[key] = r
+		}
+	}
+	return best
+}

@@ -36,6 +36,7 @@ import (
 	"phonocmap/internal/router"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sim"
+	"phonocmap/internal/sweep"
 	"phonocmap/internal/topo"
 	"phonocmap/internal/wdm"
 )
@@ -92,6 +93,18 @@ type (
 	// search: scores tile swaps by re-evaluating only the communications
 	// they change, bit-for-bit identical to Evaluate.
 	SwapSession = core.SwapSession
+	// SweepSpec is a declarative design-space grid: apps × architectures
+	// × objectives × algorithms × budgets × seeds.
+	SweepSpec = sweep.Spec
+	// SweepCell is one point of an expanded grid — exactly one job spec.
+	SweepCell = sweep.Cell
+	// SweepCellResult is the outcome of one executed sweep cell.
+	SweepCellResult = sweep.Result
+	// SweepTableRow is one application row of a Table II-style
+	// algorithm-comparison aggregation.
+	SweepTableRow = sweep.TableRow
+	// SweepBudgetPoint is one point of a budget-ablation curve.
+	SweepBudgetPoint = sweep.BudgetPoint
 )
 
 // Objective values.
@@ -235,6 +248,45 @@ func NewSwapSession(prob *Problem, m Mapping) (*SwapSession, error) {
 // useful for stressing large meshes beyond the eight bundled benchmarks.
 func RandomApp(rng *rand.Rand, tasks, edges int) (*Graph, error) {
 	return cg.RandomConnected(rng, tasks, edges)
+}
+
+// ExpandSweep expands a design-space grid into its cells in
+// deterministic order (apps outermost, seeds innermost), validating
+// every dimension.
+func ExpandSweep(spec SweepSpec) ([]SweepCell, error) { return sweep.Expand(spec) }
+
+// RunSweep expands and executes a design-space grid on a bounded local
+// worker pool (workers <= 0 means GOMAXPROCS), returning one result per
+// cell in grid order. Cells are independent seeded runs, so the results
+// are identical at any worker count; ctx cancels the whole sweep.
+// Individual cell failures are recorded in their result, not returned.
+// Aggregate the results with SweepTable, SweepBudgetCurves or
+// SweepParetoFronts — or submit the same grid to a phonocmap-serve
+// instance via POST /v1/sweeps, which executes identical cells remotely.
+func RunSweep(ctx context.Context, spec SweepSpec, workers int) ([]SweepCellResult, error) {
+	cells, err := sweep.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(cells, sweep.RunCell, sweep.Options{Workers: workers, Context: ctx})
+}
+
+// SweepTable folds sweep results into Table II-style comparison rows:
+// per app and topology, each algorithm's best SNR (from "snr"-objective
+// cells) and best loss (from "loss"-objective cells).
+func SweepTable(results []SweepCellResult) []SweepTableRow { return sweep.Table(results) }
+
+// SweepBudgetCurves folds sweep results into budget-ablation curves
+// sorted by app, algorithm and ascending budget.
+func SweepBudgetCurves(results []SweepCellResult) []SweepBudgetPoint {
+	return sweep.BudgetCurves(results)
+}
+
+// SweepParetoFronts builds, per application, the Pareto front of
+// (worst-case loss, worst-case SNR) over the best mappings of every
+// successful cell.
+func SweepParetoFronts(results []SweepCellResult) map[string][]ParetoPoint {
+	return sweep.ParetoFronts(results)
 }
 
 // RunExperiment executes a declarative experiment description end to end.

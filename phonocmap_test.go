@@ -1,6 +1,7 @@
 package phonocmap_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -364,5 +365,80 @@ func TestDefaultParamsFacade(t *testing.T) {
 	p := phonocmap.DefaultParams()
 	if p.CrossingLoss != -0.04 || p.CrossingCrosstalk != -40 {
 		t.Errorf("DefaultParams not Table I: %+v", p)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	spec := phonocmap.SweepSpec{
+		Apps:       []phonocmap.AppSpec{{Builtin: "PIP"}},
+		Archs:      []phonocmap.ArchSpec{{Topology: "mesh"}},
+		Objectives: []string{"snr", "loss"},
+		Algorithms: []string{"rs"},
+		Budgets:    []int{120},
+		Seeds:      []int64{1},
+	}
+	cells, err := phonocmap.ExpandSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	results, err := phonocmap.RunSweep(context.Background(), spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Cell.Label(), r.Err)
+		}
+		if r.Run.Evals != 120 {
+			t.Errorf("cell %s spent %d evals, want 120", r.Cell.Label(), r.Run.Evals)
+		}
+		// Every cell result must verify against a fresh problem — the
+		// sweep path produces real reproducible mappings.
+		prob, err := phonocmap.NewProblem(phonocmap.MustApp("PIP"), mustMesh(t, 3, 3), objectiveOf(t, r.Cell.Objective))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := phonocmap.Verify(prob, r.Run); err != nil {
+			t.Errorf("cell %s: %v", r.Cell.Label(), err)
+		}
+	}
+	rows := phonocmap.SweepTable(results)
+	if len(rows) != 1 || rows[0].App != "PIP" {
+		t.Fatalf("table rows = %+v", rows)
+	}
+	cell := rows[0].Mesh["rs"]
+	if cell.SNRDB <= 0 || cell.LossDB >= 0 {
+		t.Errorf("table cell = %+v", cell)
+	}
+	if pts := phonocmap.SweepBudgetCurves(results); len(pts) != 2 {
+		t.Errorf("budget curve points = %d, want 2", len(pts))
+	}
+	if fronts := phonocmap.SweepParetoFronts(results); len(fronts["PIP"]) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+func mustMesh(t *testing.T, w, h int) *phonocmap.Network {
+	t.Helper()
+	net, err := phonocmap.NewMeshNetwork(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func objectiveOf(t *testing.T, name string) phonocmap.Objective {
+	t.Helper()
+	switch name {
+	case "snr":
+		return phonocmap.MaximizeSNR
+	case "loss":
+		return phonocmap.MinimizeLoss
+	default:
+		t.Fatalf("unexpected objective %q", name)
+		return phonocmap.MaximizeSNR
 	}
 }
