@@ -13,6 +13,7 @@ import (
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/topo"
 )
@@ -25,31 +26,40 @@ var errFlagParse = errors.New("flag parse error")
 // archFlags registers the architecture flags shared by map, eval and
 // simulate.
 type archFlags struct {
-	topology  *string
-	width     *int
-	height    *int
-	tiles     *int
-	dieCm     *float64
-	wrapCross *int
-	router    *string
-	routing   *string
+	topology    *string
+	width       *int
+	height      *int
+	tiles       *int
+	dieCm       *float64
+	wrapCross   *int
+	router      *string
+	routing     *string
+	failedLinks *string
 }
 
 func addArchFlags(fs *flag.FlagSet) archFlags {
 	return archFlags{
-		topology:  fs.String("topology", "mesh", "topology kind: mesh, torus or ring"),
-		width:     fs.Int("width", 0, "grid width (0 = smallest square fitting the app)"),
-		height:    fs.Int("height", 0, "grid height (0 = smallest square fitting the app)"),
-		tiles:     fs.Int("tiles", 0, "ring tile count"),
-		dieCm:     fs.Float64("die-cm", topo.DefaultDieCm, "die edge length in centimetres"),
-		wrapCross: fs.Int("wrap-crossings", 0, "waveguide crossings per torus wrap link"),
-		router:    fs.String("router", "crux", "optical router: crux, cygnus or crossbar"),
-		routing:   fs.String("routing", "xy", "routing algorithm: xy, yx or bfs"),
+		topology:    fs.String("topology", "mesh", "topology kind: mesh, torus or ring"),
+		width:       fs.Int("width", 0, "grid width (0 = smallest square fitting the app)"),
+		height:      fs.Int("height", 0, "grid height (0 = smallest square fitting the app)"),
+		tiles:       fs.Int("tiles", 0, "ring tile count"),
+		dieCm:       fs.Float64("die-cm", topo.DefaultDieCm, "die edge length in centimetres"),
+		wrapCross:   fs.Int("wrap-crossings", 0, "waveguide crossings per torus wrap link"),
+		router:      fs.String("router", "crux", "optical router: crux, cygnus or crossbar"),
+		routing:     fs.String("routing", "xy", "routing algorithm: xy, yx or bfs"),
+		failedLinks: fs.String("failed-links", "", "failed links as a-b pairs (both lanes cut), e.g. 0-1,5-6; needs -routing bfs"),
 	}
 }
 
-func (a archFlags) spec(app *cg.Graph) config.ArchSpec {
-	s := config.ArchSpec{
+// spec collects the flags into a raw (un-normalized) architecture spec;
+// the scenario compiler resolves sizing defaults against the
+// application.
+func (a archFlags) spec() (config.ArchSpec, error) {
+	failed, err := parseFailedLinks(*a.failedLinks)
+	if err != nil {
+		return config.ArchSpec{}, err
+	}
+	return config.ArchSpec{
 		Topology:      *a.topology,
 		Width:         *a.width,
 		Height:        *a.height,
@@ -58,85 +68,124 @@ func (a archFlags) spec(app *cg.Graph) config.ArchSpec {
 		WrapCrossings: *a.wrapCross,
 		Router:        *a.router,
 		Routing:       *a.routing,
+		FailedLinks:   failed,
+	}, nil
+}
+
+// parseFailedLinks parses a comma-separated list of a-b tile pairs, e.g.
+// "0-1,5-6", into the declarative failed-link cuts of an ArchSpec.
+func parseFailedLinks(s string) ([][2]int, error) {
+	if s == "" {
+		return nil, nil
 	}
-	s.Normalize(app.NumTasks())
-	return s
+	var out [][2]int
+	for _, part := range strings.Split(s, ",") {
+		ab := strings.SplitN(strings.TrimSpace(part), "-", 2)
+		if len(ab) != 2 {
+			return nil, fmt.Errorf("bad failed link %q (want a-b, e.g. 0-1)", part)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(ab[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad failed link %q: %w", part, err)
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(ab[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad failed link %q: %w", part, err)
+		}
+		out = append(out, [2]int{a, b})
+	}
+	return out, nil
 }
 
 func loadApp(name, file string) (*cg.Graph, error) {
+	spec, err := loadAppSpec(name, file)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
+}
+
+// loadAppSpec resolves the -app/-app-file pair into a declarative
+// application spec (the shape the scenario compiler consumes).
+func loadAppSpec(name, file string) (config.AppSpec, error) {
 	switch {
 	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -app or -app-file, not both")
+		return config.AppSpec{}, fmt.Errorf("use either -app or -app-file, not both")
 	case name != "":
-		return cg.App(name)
+		return config.AppSpec{Builtin: name}, nil
 	case file != "":
-		spec, err := config.LoadFile[config.AppSpec](file)
-		if err != nil {
-			return nil, err
-		}
-		return spec.Build()
+		return config.LoadFile[config.AppSpec](file)
 	default:
-		return nil, fmt.Errorf("an application is required: -app <name> or -app-file <json>")
+		return config.AppSpec{}, fmt.Errorf("an application is required: -app <name> or -app-file <json>")
 	}
 }
 
 // parseMapCommand parses the 'map' subcommand's arguments into a
-// normalized experiment description (with the built application graph,
-// so callers need not rebuild it) plus the -out path.
-func parseMapCommand(args []string) (config.Experiment, *cg.Graph, string, error) {
+// normalized scenario spec (with the built application graph, so callers
+// need not rebuild it) plus the -out path. The spec is exactly what the
+// optimization service normalizes, so the two fronts accept the same
+// inputs and produce the same computations.
+func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
 	fs := flag.NewFlagSet("map", flag.ContinueOnError)
 	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
 	appFile := fs.String("app-file", "", "custom application JSON file")
-	expFile := fs.String("experiment", "", "full experiment JSON file (overrides other flags)")
+	expFile := fs.String("experiment", "", "full scenario JSON file (overrides other flags; may include seeds and analyses)")
 	objective := fs.String("objective", "snr", "objective: snr or loss")
 	algorithm := fs.String("algorithm", "rpbla", "algorithm: "+strings.Join(search.Names(), ", "))
 	budget := fs.Int("budget", 20000, "evaluation budget")
 	seed := fs.Int64("seed", 1, "random seed")
+	seeds := fs.Int("seeds", 1, "island count: > 1 runs that many seeded searches and keeps the best")
+	analysesFile := fs.String("analyses", "", "post-optimization analyses JSON file (wdm, power, robustness, link_failures, sim)")
 	out := fs.String("out", "", "write the result as JSON to this file")
 	arch := addArchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return config.Experiment{}, nil, "", err
+			return scenario.Spec{}, nil, "", err
 		}
-		return config.Experiment{}, nil, "", fmt.Errorf("%w: %v", errFlagParse, err)
+		return scenario.Spec{}, nil, "", fmt.Errorf("%w: %v", errFlagParse, err)
 	}
 
-	var exp config.Experiment
-	var g *cg.Graph
+	var spec scenario.Spec
 	if *expFile != "" {
 		var err error
-		exp, err = config.LoadFile[config.Experiment](*expFile)
+		spec, err = config.LoadFile[scenario.Spec](*expFile)
 		if err != nil {
-			return config.Experiment{}, nil, "", err
-		}
-		g, err = exp.App.Build()
-		if err != nil {
-			return config.Experiment{}, nil, "", err
+			return scenario.Spec{}, nil, "", err
 		}
 	} else {
-		var err error
-		g, err = loadApp(*app, *appFile)
+		appSpec, err := loadAppSpec(*app, *appFile)
 		if err != nil {
-			return config.Experiment{}, nil, "", err
+			return scenario.Spec{}, nil, "", err
 		}
-		exp = config.Experiment{
-			App:       config.AppSpec{Builtin: *app},
-			Arch:      arch.spec(g),
+		archSpec, err := arch.spec()
+		if err != nil {
+			return scenario.Spec{}, nil, "", err
+		}
+		spec = scenario.Spec{
+			App:       appSpec,
+			Arch:      archSpec,
 			Objective: *objective,
 			Algorithm: *algorithm,
 			Budget:    *budget,
 			Seed:      *seed,
+			Seeds:     *seeds,
 		}
-		if *app == "" {
-			exp.App = config.AppSpecOf(g)
+		if *analysesFile != "" {
+			analyses, err := config.LoadFile[scenario.AnalysesSpec](*analysesFile)
+			if err != nil {
+				return scenario.Spec{}, nil, "", err
+			}
+			spec.Analyses = &analyses
 		}
 	}
-	exp.Normalize()
-	// Resolve architecture defaults on both paths (flags already size via
-	// arch.spec, but an -experiment file may omit dimensions entirely) so
-	// the CLI accepts exactly what the service accepts.
-	exp.Arch.Normalize(g.NumTasks())
-	return exp, g, *out, nil
+	// One normalization path for flags and files alike: the scenario
+	// compiler resolves the same defaults the service resolves, so the
+	// CLI accepts exactly what the service accepts.
+	g, err := spec.Normalize()
+	if err != nil {
+		return scenario.Spec{}, nil, "", err
+	}
+	return spec, g, *out, nil
 }
 
 // parseMapping parses a comma-separated tile-per-task list, e.g.

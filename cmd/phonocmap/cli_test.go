@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 )
 
 func TestParseMapCommandHelp(t *testing.T) {
@@ -167,5 +170,90 @@ func TestArchFlagsSpecRespectsExplicitSize(t *testing.T) {
 	// Width fixed, height still defaults to the smallest fitting square.
 	if exp.Arch.Width != 8 || exp.Arch.Height != 6 {
 		t.Errorf("arch %dx%d, want 8x6", exp.Arch.Width, exp.Arch.Height)
+	}
+}
+
+func TestParseFailedLinks(t *testing.T) {
+	got, err := parseFailedLinks("0-1, 5-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {5, 6}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got, err := parseFailedLinks(""); err != nil || got != nil {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "a-b", "1-2-3x", "1-", "-2"} {
+		if _, err := parseFailedLinks(bad); err == nil {
+			t.Errorf("parseFailedLinks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMapCommandFailedLinksAndAnalyses(t *testing.T) {
+	analysesPath := filepath.Join(t.TempDir(), "analyses.json")
+	if err := os.WriteFile(analysesPath, []byte(`{"power": {}, "robustness": {"samples": 6}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, _, _, err := parseMapCommand([]string{
+		"-app", "PIP", "-router", "cygnus", "-routing", "bfs",
+		"-failed-links", "1-2", "-analyses", analysesPath, "-seeds", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Arch.FailedLinks) != 1 || spec.Arch.FailedLinks[0] != [2]int{1, 2} {
+		t.Errorf("failed links %v", spec.Arch.FailedLinks)
+	}
+	if spec.Seeds != 2 {
+		t.Errorf("seeds %d", spec.Seeds)
+	}
+	if spec.Analyses == nil || spec.Analyses.Power == nil || spec.Analyses.Robustness == nil {
+		t.Fatalf("analyses %+v", spec.Analyses)
+	}
+	if spec.Analyses.Robustness.Samples != 6 || spec.Analyses.Robustness.Tolerance != 0.1 {
+		t.Errorf("analyses not normalized: %+v", spec.Analyses.Robustness)
+	}
+
+	// failed_links without BFS routing is rejected at parse/normalize
+	// time, like the service rejects it at submission.
+	if _, _, _, err := parseMapCommand([]string{"-app", "PIP", "-failed-links", "1-2"}); err == nil {
+		t.Error("failed links with default xy routing accepted")
+	}
+}
+
+// TestCmdMapMatchesScenarioPipeline pins the CLI execution path to the
+// shared pipeline: what cmdMap computes for a degraded spec is exactly
+// scenario.Run of the parsed spec — the same computation the service
+// and a 1-cell sweep perform for this spec (their equivalence is pinned
+// in internal/service).
+func TestCmdMapMatchesScenarioPipeline(t *testing.T) {
+	args := []string{
+		"-app", "PIP", "-router", "cygnus", "-routing", "bfs",
+		"-failed-links", "1-2", "-algorithm", "rs", "-budget", "250", "-seed", "11",
+	}
+	spec, _, _, err := parseMapCommand(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := runCompiled(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.Equal(want.Run.Mapping) || res.Score != want.Run.Score || res.Evals != want.Run.Evals {
+		t.Errorf("CLI path diverges from pipeline:\n cli %+v\n lib %+v", res, want.Run)
+	}
+	if !reflect.DeepEqual(rep, want.Report) {
+		t.Errorf("CLI report diverges from pipeline")
 	}
 }

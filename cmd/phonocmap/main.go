@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
 	"phonocmap/internal/router"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/topo"
 	"phonocmap/internal/viz"
 )
@@ -79,8 +81,23 @@ Commands:
 Run 'phonocmap <command> -h' for command flags.`)
 }
 
+// runCompiled optimizes a compiled scenario and runs its analyses — the
+// shared execution step behind cmdMap, exposed for the CLI tests to
+// prove bit-identity with the service and sweep paths.
+func runCompiled(comp *scenario.Compiled) (core.RunResult, *scenario.Report, error) {
+	res, err := comp.Optimize(context.Background())
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	rep, err := comp.Analyze(res.Mapping, res.Score)
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	return res, rep, nil
+}
+
 func cmdMap(args []string) error {
-	exp, g, out, err := parseMapCommand(args)
+	spec, g, out, err := parseMapCommand(args)
 	if errors.Is(err, flag.ErrHelp) {
 		return nil // usage already printed by the flag package
 	}
@@ -88,27 +105,20 @@ func cmdMap(args []string) error {
 		return err
 	}
 
-	nw, err := exp.Arch.Build()
+	comp, err := scenario.Compile(spec)
 	if err != nil {
 		return err
 	}
-	obj, err := core.ParseObjective(exp.Objective)
+	res, rep, err := runCompiled(comp)
 	if err != nil {
 		return err
 	}
-	prob, err := core.NewProblem(g, nw, obj)
-	if err != nil {
-		return err
-	}
-	res, err := phonocmap.Optimize(prob, exp.Algorithm, exp.Budget, exp.Seed)
-	if err != nil {
-		return err
-	}
+	nw := comp.Network
 
 	fmt.Printf("application : %s\n", g)
 	fmt.Printf("architecture: %s\n", nw)
 	fmt.Printf("objective   : %s   algorithm: %s   budget: %d evals   seed: %d\n",
-		exp.Objective, exp.Algorithm, exp.Budget, exp.Seed)
+		spec.Objective, spec.Algorithm, spec.Budget, spec.Seed)
 	fmt.Printf("result      : worst-case loss %.3f dB, worst-case SNR %.3f dB (%d evals, %v)\n",
 		res.Score.WorstLossDB, res.Score.WorstSNRDB, res.Evals, res.Duration.Round(1000000))
 	fmt.Println("mapping     :")
@@ -125,23 +135,67 @@ func cmdMap(args []string) error {
 		fmt.Println("busiest links:")
 		fmt.Print(viz.FormatLinkUsage(loads, 5))
 	}
-	if alloc, err := phonocmap.AllocateWavelengths(nw, g, res.Mapping); err == nil {
-		fmt.Printf("wavelengths for contention-free operation: %d (%d conflicting pairs)\n",
-			alloc.Channels, alloc.Conflicts)
+	// The quick WDM summary is part of the default map output, but when
+	// the analyses block already ran the WDM study the report section
+	// below carries it — don't compute and print it twice.
+	if spec.Analyses == nil || spec.Analyses.WDM == nil {
+		if alloc, err := phonocmap.AllocateWavelengths(nw, g, res.Mapping); err == nil {
+			fmt.Printf("wavelengths for contention-free operation: %d (%d conflicting pairs)\n",
+				alloc.Channels, alloc.Conflicts)
+		}
 	}
+	printReport(rep)
 	if out != "" {
 		payload := struct {
-			Experiment config.Experiment `json:"experiment"`
-			Mapping    core.Mapping      `json:"mapping"`
-			Score      core.Score        `json:"score"`
-			Evals      int               `json:"evals"`
-		}{exp, res.Mapping, res.Score, res.Evals}
+			Scenario scenario.Spec    `json:"scenario"`
+			Mapping  core.Mapping     `json:"mapping"`
+			Score    core.Score       `json:"score"`
+			Evals    int              `json:"evals"`
+			Report   *scenario.Report `json:"report,omitempty"`
+		}{spec, res.Mapping, res.Score, res.Evals, rep}
 		if err := config.SaveFile(out, payload); err != nil {
 			return err
 		}
 		fmt.Printf("result written to %s\n", out)
 	}
 	return nil
+}
+
+// printReport renders the analysis report sections the scenario
+// requested.
+func printReport(rep *scenario.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Println("\nanalysis report:")
+	if w := rep.WDM; w != nil {
+		fmt.Printf("  wdm         : %d wavelength(s), %d conflicting pairs; channeled worst SNR %.2f dB\n",
+			w.Channels, w.Conflicts, w.WorstSNRDB)
+	}
+	if p := rep.Power; p != nil {
+		status := "FEASIBLE"
+		if !p.Feasible {
+			status = "INFEASIBLE"
+		}
+		fmt.Printf("  power       : %s; channel %.2f dBm, total %.2f dBm, headroom %.2f dB, BER %.2e\n",
+			status, p.ChannelPowerDBm, p.TotalInjectedDBm, p.HeadroomDB, p.EstimatedBER)
+	}
+	if r := rep.Robustness; r != nil {
+		fmt.Printf("  robustness  : %d samples ±%.0f%%; loss %.2f±%.2f dB (worst %.2f), SNR %.2f±%.2f dB (worst %.2f)\n",
+			r.Samples, r.Tolerance*100, r.MeanLossDB, r.StdLossDB, r.WorstLossDB,
+			r.MeanSNRDB, r.StdSNRDB, r.WorstSNRDB)
+	}
+	if lf := rep.LinkFailures; lf != nil {
+		fmt.Printf("  link cuts   : %d scenarios, %d unreachable; worst cut %d-%d: loss %.2f dB, SNR %.2f dB\n",
+			lf.Cuts, lf.Unreachable, lf.WorstLink[0], lf.WorstLink[1], lf.WorstLossDB, lf.WorstSNRDB)
+	}
+	if sm := rep.Sim; sm != nil {
+		fmt.Printf("  traffic sim : %d load point(s); saturation load %.2fx\n", len(sm.Points), sm.SaturationLoad)
+		for _, p := range sm.Points {
+			fmt.Printf("    load %.2fx: offered %.2f Gb/s, delivered %.1f%%, mean latency %.1f ns, max util %.2f\n",
+				p.LoadScale, p.OfferedGbps, p.DeliveredFraction*100, p.MeanLatencyNs, p.MaxLinkUtilization)
+		}
+	}
 }
 
 func cmdEval(args []string) error {
@@ -153,7 +207,7 @@ func cmdEval(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := loadApp(*app, *appFile)
+	appSpec, err := loadAppSpec(*app, *appFile)
 	if err != nil {
 		return err
 	}
@@ -161,15 +215,16 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	nw, err := arch.spec(g).Build()
+	archSpec, err := arch.spec()
 	if err != nil {
 		return err
 	}
-	prob, err := core.NewProblem(g, nw, core.MaximizeSNR)
+	comp, err := scenario.Compile(scenario.Spec{App: appSpec, Arch: archSpec})
 	if err != nil {
 		return err
 	}
-	res, details, err := prob.Details(m)
+	g, nw := comp.App, comp.Network
+	res, details, err := comp.Problem.Details(m)
 	if err != nil {
 		return err
 	}
@@ -199,23 +254,27 @@ func cmdSimulate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := loadApp(*app, *appFile)
+	appSpec, err := loadAppSpec(*app, *appFile)
 	if err != nil {
 		return err
 	}
-	nw, err := arch.spec(g).Build()
+	archSpec, err := arch.spec()
 	if err != nil {
 		return err
 	}
-	obj, err := core.ParseObjective(*objective)
+	comp, err := scenario.Compile(scenario.Spec{
+		App:       appSpec,
+		Arch:      archSpec,
+		Objective: *objective,
+		Algorithm: *algorithm,
+		Budget:    *budget,
+		Seed:      *seed,
+	})
 	if err != nil {
 		return err
 	}
-	prob, err := core.NewProblem(g, nw, obj)
-	if err != nil {
-		return err
-	}
-	res, err := phonocmap.Optimize(prob, *algorithm, *budget, *seed)
+	g, nw := comp.App, comp.Network
+	res, err := comp.Optimize(context.Background())
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,11 @@
 // Design space: the multi-objective and robustness view of mapping
 // exploration, beyond the paper's single-objective runs. The example
 // archives the Pareto front of (worst-case loss, worst-case SNR) during
-// an R-PBLA run on VOPD, picks the knee point, allocates WDM wavelengths
-// for it, stresses it with 20% photonic parameter variation, and
-// finally checks every single-link failure with BFS rerouting on an
-// all-turn Cygnus network.
+// an R-PBLA run on VOPD, then hands the physical follow-up — WDM
+// allocation, ±20% parameter variation and the exhaustive link-failure
+// study on an all-turn Cygnus network — to the declarative scenario
+// pipeline, and finally shows how a degraded topology (failed_links)
+// becomes an ordinary sweepable design point.
 //
 // Run with:
 //
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,58 +41,62 @@ func main() {
 		fmt.Printf("  loss %6.2f dB   SNR %6.2f dB\n", p.WorstLossDB, p.WorstSNRDB)
 	}
 
-	// Pick the knee: the point with the best sum of normalized ranks.
-	knee := front[len(front)/2]
-	fmt.Printf("\nknee point: loss %.2f dB, SNR %.2f dB\n", knee.WorstLossDB, knee.WorstSNRDB)
-
-	// 2. WDM allocation for the knee mapping.
-	alloc, err := phonocmap.AllocateWavelengths(net, app, knee.Mapping)
+	// 2. The physical follow-up, declaratively: re-run the same search on
+	// an all-turn Cygnus network with the full analysis block. This spec
+	// is exactly what the CLI's 'map -analyses' and the service's
+	// /v1/jobs accept — one pipeline, three fronts.
+	cygnus := phonocmap.Scenario{
+		App:       phonocmap.AppSpec{Builtin: "VOPD"},
+		Arch:      phonocmap.ArchSpec{Router: "cygnus", Routing: "bfs"},
+		Objective: "snr",
+		Algorithm: "rpbla",
+		Budget:    10000,
+		Seed:      1,
+		Analyses: &phonocmap.AnalysesSpec{
+			WDM:          &phonocmap.WDMSpec{},
+			Robustness:   &phonocmap.RobustnessSpec{Samples: 40, Tolerance: 0.2},
+			LinkFailures: &phonocmap.LinkFailuresSpec{},
+		},
+	}
+	res, err := phonocmap.RunScenario(context.Background(), cygnus)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, wdmSNR, err := phonocmap.EvaluateWDM(net, app, knee.Mapping, alloc)
-	if err != nil {
-		log.Fatal(err)
-	}
+	rep := res.Report
+	fmt.Printf("\ncygnus design point: loss %.2f dB, SNR %.2f dB\n",
+		res.Run.Score.WorstLossDB, res.Run.Score.WorstSNRDB)
 	fmt.Printf("WDM: %d wavelength(s) remove %d conflicting pairs; worst SNR %.2f dB\n",
-		alloc.Channels, alloc.Conflicts, wdmSNR)
+		rep.WDM.Channels, rep.WDM.Conflicts, rep.WDM.WorstSNRDB)
+	fmt.Printf("parameter variation (40 samples, ±20%%): SNR %.2f±%.2f dB, worst draw %.2f dB\n",
+		rep.Robustness.MeanSNRDB, rep.Robustness.StdSNRDB, rep.Robustness.WorstSNRDB)
+	fmt.Printf("link failures (%d single-link cuts, BFS rerouting): %d unreachable; worst cut %v: loss %.2f dB, SNR %.2f dB\n",
+		rep.LinkFailures.Cuts, rep.LinkFailures.Unreachable,
+		rep.LinkFailures.WorstLink, rep.LinkFailures.WorstLossDB, rep.LinkFailures.WorstSNRDB)
 
-	// 3. Robustness to 20% coefficient variation (process + thermal).
-	vr, err := phonocmap.AssessVariation(net, app, knee.Mapping, 40, 0.2, 1)
+	// 3. Degraded topologies are declarative now: sweep the healthy
+	// network against the worst cut found above and compare like any
+	// other design axis.
+	degraded := phonocmap.ArchSpec{Router: "cygnus", Routing: "bfs",
+		FailedLinks: [][2]int{{int(rep.LinkFailures.WorstLink[0]), int(rep.LinkFailures.WorstLink[1])}}}
+	results, err := phonocmap.RunSweep(context.Background(), phonocmap.SweepSpec{
+		Apps:       []phonocmap.AppSpec{{Builtin: "VOPD"}},
+		Archs:      []phonocmap.ArchSpec{{Router: "cygnus", Routing: "bfs"}, degraded},
+		Algorithms: []string{"rpbla"},
+		Budgets:    []int{5000},
+	}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nparameter variation (40 samples, ±20%%):\n")
-	fmt.Printf("  loss: mean %6.2f dB, sd %4.2f, worst draw %6.2f dB\n",
-		vr.Loss.Mean(), vr.Loss.StdDev(), vr.WorstLossDB)
-	fmt.Printf("  SNR : mean %6.2f dB, sd %4.2f, worst draw %6.2f dB\n",
-		vr.SNR.Mean(), vr.SNR.StdDev(), vr.WorstSNRDB)
-
-	// 4. Single-link failures with BFS detours (needs an all-turn
-	// router: rebuild the design point on Cygnus).
-	cygnus, err := phonocmap.NewNetwork(phonocmap.ArchSpec{
-		Topology: "mesh", Width: 4, Height: 4, Router: "cygnus", Routing: "bfs",
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	failures, err := phonocmap.AssessLinkFailures(cygnus, app, knee.Mapping)
-	if err != nil {
-		log.Fatal(err)
-	}
-	worst := phonocmap.FailureResult{WorstLossDB: 0}
-	unreachable := 0
-	for _, f := range failures {
-		if f.Unreachable {
-			unreachable++
-			continue
+	fmt.Println("\nhealthy vs degraded (remapped around the cut):")
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		if f.WorstLossDB < worst.WorstLossDB {
-			worst = f
+		label := "healthy "
+		if len(r.Cell.Arch.FailedLinks) > 0 {
+			label = fmt.Sprintf("cut %v", r.Cell.Arch.FailedLinks[0])
 		}
+		fmt.Printf("  %s: loss %6.2f dB   SNR %6.2f dB\n",
+			label, r.Run.Score.WorstLossDB, r.Run.Score.WorstSNRDB)
 	}
-	fmt.Printf("\nlink failures (%d single-link cuts, BFS rerouting on cygnus):\n", len(failures))
-	fmt.Printf("  unreachable scenarios: %d\n", unreachable)
-	fmt.Printf("  worst cut %v: loss %.2f dB, SNR %.2f dB\n",
-		worst.Failed, worst.WorstLossDB, worst.WorstSNRDB)
 }

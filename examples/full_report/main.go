@@ -1,0 +1,69 @@
+// Full report: one declarative scenario drives the whole PhoNoCMap
+// pipeline — optimization plus every post-optimization analysis. The
+// spec below is exactly the JSON body you could POST to a
+// phonocmap-serve instance at /v1/jobs; running it locally through
+// phonocmap.RunScenario produces the bit-identical result and report.
+//
+// Run with:
+//
+//	go run ./examples/full_report
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"phonocmap"
+)
+
+func main() {
+	spec := phonocmap.Scenario{
+		App: phonocmap.AppSpec{Builtin: "VOPD"},
+		// Cygnus with BFS routing: an all-turn router, so the link-failure
+		// study can reroute around cuts.
+		Arch:      phonocmap.ArchSpec{Router: "cygnus", Routing: "bfs"},
+		Objective: "snr",
+		Algorithm: "rpbla",
+		Budget:    5000,
+		Seed:      1,
+		Analyses: &phonocmap.AnalysesSpec{
+			WDM:          &phonocmap.WDMSpec{},
+			Power:        &phonocmap.PowerSpec{SNRMarginDB: 3},
+			Robustness:   &phonocmap.RobustnessSpec{Samples: 30, Tolerance: 0.2},
+			LinkFailures: &phonocmap.LinkFailuresSpec{},
+			Sim:          &phonocmap.SimSpec{LoadScales: []float64{0.5, 1, 2, 4}},
+		},
+	}
+
+	res, err := phonocmap.RunScenario(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized %s: worst loss %.2f dB, worst SNR %.2f dB (%d evals)\n\n",
+		res.Run.Algorithm, res.Run.Score.WorstLossDB, res.Run.Score.WorstSNRDB, res.Run.Evals)
+
+	rep := res.Report
+	fmt.Printf("WDM          : %d wavelength(s) resolve %d conflicting pairs; channeled worst SNR %.2f dB\n",
+		rep.WDM.Channels, rep.WDM.Conflicts, rep.WDM.WorstSNRDB)
+	fmt.Printf("power        : feasible=%v channel %.2f dBm, headroom %.2f dB, BER %.2e\n",
+		rep.Power.Feasible, rep.Power.ChannelPowerDBm, rep.Power.HeadroomDB, rep.Power.EstimatedBER)
+	fmt.Printf("robustness   : ±20%% coefficients -> SNR %.2f±%.2f dB (worst draw %.2f dB)\n",
+		rep.Robustness.MeanSNRDB, rep.Robustness.StdSNRDB, rep.Robustness.WorstSNRDB)
+	fmt.Printf("link failures: %d cuts, %d unreachable; worst cut %v -> SNR %.2f dB\n",
+		rep.LinkFailures.Cuts, rep.LinkFailures.Unreachable, rep.LinkFailures.WorstLink, rep.LinkFailures.WorstSNRDB)
+	fmt.Printf("traffic sim  : saturation at %.1fx nominal load\n", rep.Sim.SaturationLoad)
+	for _, p := range rep.Sim.Points {
+		fmt.Printf("  load %4.1fx: delivered %5.1f%%, mean latency %7.1f ns, max link util %.2f\n",
+			p.LoadScale, p.DeliveredFraction*100, p.MeanLatencyNs, p.MaxLinkUtilization)
+	}
+
+	// The full result is plain JSON — the same payload a service client
+	// receives from GET /v1/jobs/{id}/result.
+	b, err := json.MarshalIndent(res.Report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull report as JSON:\n%s\n", b)
+}

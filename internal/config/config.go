@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 
 	"phonocmap/internal/cg"
 	"phonocmap/internal/network"
@@ -105,6 +106,11 @@ type ArchSpec struct {
 	Router string `json:"router"`
 	// Routing is "xy", "yx" or "bfs".
 	Routing string `json:"routing"`
+	// FailedLinks lists failed links as [a, b] tile pairs; both lanes of
+	// each pair are removed (a full cut), so the spec describes a degraded
+	// topology (topo.Degraded) declaratively. Degraded topologies require
+	// "bfs" routing: dimension-order algorithms need the full grid.
+	FailedLinks [][2]int `json:"failed_links,omitempty"`
 	// Params overrides the Table I photonic coefficients when present.
 	Params *photonic.Params `json:"params,omitempty"`
 }
@@ -157,6 +163,33 @@ func (s *ArchSpec) Normalize(numTasks int) {
 			s.Tiles = numTasks
 		}
 	}
+	if len(s.FailedLinks) > 0 {
+		s.FailedLinks = canonicalFailedLinks(s.FailedLinks)
+	}
+}
+
+// canonicalFailedLinks sorts each pair (a cut is undirected) and the
+// list, dropping duplicates, so specs naming the same cuts in any order
+// or direction share one canonical form — and one cache identity.
+func canonicalFailedLinks(links [][2]int) [][2]int {
+	out := make([][2]int, 0, len(links))
+	seen := make(map[[2]int]bool, len(links))
+	for _, l := range links {
+		if l[1] < l[0] {
+			l[0], l[1] = l[1], l[0]
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // Build constructs the network instance the spec describes.
@@ -182,6 +215,20 @@ func (s ArchSpec) Build() (*network.Network, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(s.FailedLinks) > 0 {
+		if s.Routing != "bfs" {
+			return nil, fmt.Errorf("config: failed_links needs \"bfs\" routing (dimension-order %q requires the full grid)", s.Routing)
+		}
+		failures := make([][2]topo.TileID, 0, 2*len(s.FailedLinks))
+		for _, l := range s.FailedLinks {
+			a, b := topo.TileID(l[0]), topo.TileID(l[1])
+			failures = append(failures, [2]topo.TileID{a, b}, [2]topo.TileID{b, a})
+		}
+		t, err = topo.Degrade(t, failures)
+		if err != nil {
+			return nil, err
+		}
 	}
 	arch, err := router.ByName(s.Router)
 	if err != nil {

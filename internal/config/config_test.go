@@ -3,6 +3,7 @@ package config
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -99,6 +100,71 @@ func TestArchSpecBuildVariants(t *testing.T) {
 		if _, err := s.Build(); err == nil {
 			t.Errorf("bad case %d accepted", i)
 		}
+	}
+}
+
+func TestArchSpecFailedLinks(t *testing.T) {
+	// A full cut removes both lanes; the degraded mesh still builds with
+	// BFS routing.
+	s := ArchSpec{Topology: "mesh", Width: 3, Height: 3, Router: "cygnus", Routing: "bfs",
+		FailedLinks: [][2]int{{0, 1}}}
+	nw, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumTiles() != 9 {
+		t.Errorf("tiles = %d", nw.NumTiles())
+	}
+	if got := len(nw.Topology().Links()); got != 24-2 {
+		t.Errorf("degraded 3x3 mesh has %d directed links, want 22", got)
+	}
+
+	// Dimension-order routing cannot detour around cuts.
+	bad := s
+	bad.Routing = "xy"
+	if _, err := bad.Build(); err == nil {
+		t.Error("failed_links with xy routing accepted")
+	}
+
+	// Nonexistent links are rejected.
+	missing := s
+	missing.FailedLinks = [][2]int{{0, 5}}
+	if _, err := missing.Build(); err == nil {
+		t.Error("nonexistent failed link accepted")
+	}
+
+	// Cutting every link of a tile is rejected (tile isolated).
+	isolating := s
+	isolating.FailedLinks = [][2]int{{0, 1}, {0, 3}}
+	if _, err := isolating.Build(); err == nil {
+		t.Error("isolating cut accepted")
+	}
+}
+
+func TestFailedLinksCanonicalization(t *testing.T) {
+	// The same cuts in any order or lane direction normalize to one
+	// canonical form — one cache identity.
+	a := ArchSpec{Topology: "mesh", Routing: "bfs", FailedLinks: [][2]int{{5, 2}, {0, 1}, {1, 0}}}
+	a.Normalize(8)
+	want := [][2]int{{0, 1}, {2, 5}}
+	if !reflect.DeepEqual(a.FailedLinks, want) {
+		t.Errorf("canonical form %v, want %v", a.FailedLinks, want)
+	}
+}
+
+func TestArchSpecFailedLinksRoundTrip(t *testing.T) {
+	s := ArchSpec{Topology: "mesh", Width: 3, Height: 3, Router: "cygnus", Routing: "bfs",
+		FailedLinks: [][2]int{{1, 2}, {4, 5}}}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load[ArchSpec](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip diverges:\n in %+v\nout %+v", s, back)
 	}
 }
 

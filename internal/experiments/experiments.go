@@ -16,9 +16,9 @@ import (
 	"math"
 	"math/rand"
 
-	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/stats"
 	"phonocmap/internal/sweep"
@@ -39,23 +39,22 @@ func SquareFor(n int) int {
 	return int(math.Ceil(math.Sqrt(float64(n))))
 }
 
-// problemFor builds the paper's problem instance for one app: smallest
-// square mesh or torus of Crux routers with XY routing.
+// problemFor builds the paper's problem instance for one app — smallest
+// square mesh or torus of Crux routers with XY routing — through the
+// scenario compiler, like every other front end.
 func problemFor(app string, torus bool, obj core.Objective) (*core.Problem, error) {
-	g, err := cg.App(app)
-	if err != nil {
-		return nil, err
+	spec := scenario.Spec{
+		App:       config.AppSpec{Builtin: app},
+		Objective: obj.String(),
 	}
-	side := SquareFor(g.NumTasks())
-	spec := config.DefaultArch(side, side)
 	if torus {
-		spec.Topology = "torus"
+		spec.Arch.Topology = "torus"
 	}
-	nw, err := spec.Build()
+	comp, err := scenario.Compile(spec)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewProblem(g, nw, obj)
+	return comp.Problem, nil
 }
 
 // Fig3Result holds the random-mapping distributions of one application:

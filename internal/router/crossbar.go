@@ -56,6 +56,9 @@ func Crossbar() *Architecture {
 	return a
 }
 
+// Names lists the built-in router architectures ByName accepts.
+func Names() []string { return []string{"crux", "cygnus", "crossbar"} }
+
 // ByName returns a built-in router architecture by name.
 func ByName(name string) (*Architecture, error) {
 	switch name {

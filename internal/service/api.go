@@ -18,6 +18,8 @@
 //	DELETE /v1/sweeps/{id}        cancel                 -> SweepStatus
 //	GET    /v1/apps            bundled applications   -> []AppInfo
 //	GET    /v1/algorithms      available algorithms   -> []string
+//	GET    /v1/routers         built-in optical routers -> []RouterInfo
+//	GET    /v1/topologies      built-in topology kinds  -> []string
 //	GET    /healthz            liveness + pool stats  -> Health
 //
 // A sweep expands a grid (apps x architectures x objectives x
@@ -27,15 +29,14 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
-	"phonocmap/internal/search"
+	"phonocmap/internal/router"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/topo"
 )
 
 // Request is the POST /v1/jobs payload. App is required; everything else
@@ -52,34 +53,22 @@ type Request struct {
 	// searches (seeds Seed, Seed+1, ...) run concurrently and the best
 	// result wins.
 	Seeds int `json:"seeds,omitempty"`
+	// Analyses selects post-optimization analyses (wdm, power,
+	// robustness, link_failures, sim) to run on the winning mapping; the
+	// typed report comes back in JobResult. The block is part of the
+	// job's cache identity.
+	Analyses *scenario.AnalysesSpec `json:"analyses,omitempty"`
 	// NoCache skips the result cache on both lookup and fill.
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // Spec is a fully normalized request: every default resolved, so equal
-// Specs describe identical computations. Its canonical JSON is the
-// content-addressed cache key.
-type Spec struct {
-	App       config.AppSpec  `json:"app"`
-	Arch      config.ArchSpec `json:"arch"`
-	Objective string          `json:"objective"`
-	Algorithm string          `json:"algorithm"`
-	Budget    int             `json:"budget"`
-	Seed      int64           `json:"seed"`
-	Seeds     int             `json:"seeds"`
-}
-
-// Key returns the content address of the spec: the hex SHA-256 of its
-// canonical JSON (struct field order is fixed, so encoding is stable).
-func (s Spec) Key() string {
-	b, err := json.Marshal(s)
-	if err != nil {
-		// Spec is plain data; marshalling cannot fail.
-		panic("service: spec marshal failed: " + err.Error())
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
-}
+// Specs describe identical computations. It is the scenario compiler's
+// spec — the same declarative shape (and the same canonical-JSON content
+// address, Key) every other front end uses. The analyses block is part
+// of the key, so two jobs differing only in requested analyses never
+// alias to one cache entry.
+type Spec = scenario.Spec
 
 // Limits bounds what a single request may ask for.
 type Limits struct {
@@ -87,74 +76,40 @@ type Limits struct {
 	MaxSeeds  int
 }
 
-// normalize validates a request against the limits and resolves every
-// default, returning the canonical spec. Architecture defaults come from
-// config.ArchSpec.Normalize and the rest from config.Experiment.Normalize
-// — the same resolution the CLI uses, so the two fronts cannot drift
-// apart. Only the application graph is built here (cheap); the expensive
-// network/problem construction is deferred to buildProblem so cache hits
-// skip it entirely.
+// normalize resolves every default through the scenario compiler — the
+// single normalization path shared with the CLI and the sweep engine, so
+// the fronts cannot drift apart — and validates the result against the
+// service's limits. Only the application graph is built here (cheap);
+// the expensive network/problem construction is deferred to compile so
+// cache hits skip it entirely.
 func normalize(req Request, lim Limits) (Spec, error) {
-	app, err := req.App.Build()
-	if err != nil {
-		return Spec{}, err
-	}
-	arch := req.Arch
-	arch.Normalize(app.NumTasks())
-	exp := config.Experiment{
+	spec := Spec{
 		App:       req.App,
-		Arch:      arch,
+		Arch:      req.Arch,
 		Objective: req.Objective,
 		Algorithm: req.Algorithm,
 		Budget:    req.Budget,
 		Seed:      req.Seed,
-	}
-	exp.Normalize()
-	spec := Spec{
-		App:       exp.App,
-		Arch:      exp.Arch,
-		Objective: exp.Objective,
-		Algorithm: exp.Algorithm,
-		Budget:    exp.Budget,
-		Seed:      exp.Seed,
 		Seeds:     req.Seeds,
+		Analyses:  req.Analyses,
 	}
-	if spec.Seeds == 0 {
-		spec.Seeds = 1
+	if _, err := spec.Normalize(); err != nil {
+		return Spec{}, err
 	}
-
 	if spec.Budget < 0 || (lim.MaxBudget > 0 && spec.Budget > lim.MaxBudget) {
 		return Spec{}, fmt.Errorf("service: budget %d out of range (1..%d)", spec.Budget, lim.MaxBudget)
 	}
 	if spec.Seeds < 0 || (lim.MaxSeeds > 0 && spec.Seeds > lim.MaxSeeds) {
 		return Spec{}, fmt.Errorf("service: seeds %d out of range (1..%d)", spec.Seeds, lim.MaxSeeds)
 	}
-	if _, err := search.New(spec.Algorithm); err != nil {
-		return Spec{}, err
-	}
-	if _, err := core.ParseObjective(spec.Objective); err != nil {
-		return Spec{}, err
-	}
 	return spec, nil
 }
 
-// buildProblem constructs the runtime problem a normalized spec
-// describes, including the Eq. 2 fit check. The caller owns the problem
-// (it is not safe for concurrent use).
-func buildProblem(spec Spec) (*core.Problem, error) {
-	app, err := spec.App.Build()
-	if err != nil {
-		return nil, err
-	}
-	nw, err := spec.Arch.Build()
-	if err != nil {
-		return nil, err
-	}
-	obj, err := core.ParseObjective(spec.Objective)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewProblem(app, nw, obj)
+// compile builds the runnable scenario a normalized spec describes
+// through the scenario compiler, including the Eq. 2 fit check. The
+// caller owns the result (it is not safe for concurrent use).
+func compile(spec Spec) (*scenario.Compiled, error) {
+	return scenario.Compile(spec)
 }
 
 // JobStatus is the wire representation of a job's lifecycle state.
@@ -189,6 +144,10 @@ type JobResult struct {
 	DurationMs float64      `json:"duration_ms"`
 	Seed       int64        `json:"seed"`
 	Cancelled  bool         `json:"cancelled,omitempty"`
+	// Report is the post-optimization analysis report of the winning
+	// mapping, present when the job's spec requested analyses. Cache hits
+	// replay the live run's report verbatim.
+	Report *scenario.Report `json:"report,omitempty"`
 }
 
 // TraceEvent is one incumbent improvement of one island.
@@ -222,6 +181,43 @@ func Apps() []AppInfo {
 	}
 	return out
 }
+
+// RouterInfo describes one built-in optical router architecture for the
+// discovery endpoint.
+type RouterInfo struct {
+	Name      string `json:"name"`
+	Rings     int    `json:"rings"`
+	Crossings int    `json:"crossings"`
+	Turns     int    `json:"turns"`
+	// AllTurn reports whether the router supports every input/output turn
+	// — the prerequisite for BFS rerouting and link-failure analysis.
+	AllTurn bool `json:"all_turn"`
+}
+
+// Routers lists the built-in optical routers for GET /v1/routers —
+// discovery parity with the CLI's 'phonocmap routers'.
+func Routers() []RouterInfo {
+	names := router.Names()
+	out := make([]RouterInfo, 0, len(names))
+	for _, name := range names {
+		a, err := router.ByName(name)
+		if err != nil {
+			// Names and ByName are the same table; a mismatch is a bug.
+			panic("service: router table inconsistent: " + err.Error())
+		}
+		out = append(out, RouterInfo{
+			Name:      name,
+			Rings:     a.RingCount(),
+			Crossings: a.CrossingCount(),
+			Turns:     len(a.SupportedTurns()),
+			AllTurn:   router.CheckTurns(a, router.RequiredTurnsAll()) == nil,
+		})
+	}
+	return out
+}
+
+// Topologies lists the built-in topology kinds for GET /v1/topologies.
+func Topologies() []string { return topo.Kinds() }
 
 // Health is the /healthz payload.
 type Health struct {

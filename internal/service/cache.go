@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 )
 
 // CacheStats summarizes result-cache effectiveness for /healthz.
@@ -16,15 +17,18 @@ type CacheStats struct {
 }
 
 // cacheEntry is one cached computation: the winning run, its convergence
-// trace, and the per-island evaluation breakdown of the live run, keyed
-// by the spec's content address. The breakdown is preserved verbatim so
-// a cache hit replays exactly the shape the live run reported — one
-// entry per island, not a collapsed total.
+// trace, the per-island evaluation breakdown of the live run, and the
+// analysis report (nil when the spec requested none), keyed by the
+// spec's content address. Everything is preserved verbatim so a cache
+// hit replays exactly what the live run reported — the analyses block is
+// part of the key, so a report can never be served to a spec that asked
+// for different (or no) analyses.
 type cacheEntry struct {
 	key         string
 	res         core.RunResult
 	trace       []TraceEvent
 	islandEvals []int
+	report      *scenario.Report
 }
 
 // resultCache is a bounded LRU of completed results. Optimization runs
@@ -48,23 +52,23 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns the cached result for key, refreshing its recency.
-func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, []int, bool) {
+func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, []int, *scenario.Report, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return core.RunResult{}, nil, nil, false
+		return core.RunResult{}, nil, nil, nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.res, e.trace, e.islandEvals, true
+	return e.res, e.trace, e.islandEvals, e.report, true
 }
 
 // put stores a completed result, evicting the least recently used entry
 // when the cache is full.
-func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, islandEvals []int) {
+func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, islandEvals []int, report *scenario.Report) {
 	if c.cap <= 0 {
 		return
 	}
@@ -76,9 +80,10 @@ func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, is
 		e.res = res
 		e.trace = trace
 		e.islandEvals = islandEvals
+		e.report = report
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, islandEvals: islandEvals})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, islandEvals: islandEvals, report: report})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 )
 
 func TestResultCacheLRU(t *testing.T) {
@@ -13,19 +14,19 @@ func TestResultCacheLRU(t *testing.T) {
 	res := func(cost float64) core.RunResult {
 		return core.RunResult{Score: core.Score{Cost: cost}}
 	}
-	c.put("a", res(1), nil, []int{10})
-	c.put("b", res(2), nil, []int{20})
-	if _, _, _, ok := c.get("a"); !ok {
+	c.put("a", res(1), nil, []int{10}, nil)
+	c.put("b", res(2), nil, []int{20}, nil)
+	if _, _, _, _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", res(3), nil, []int{30}) // evicts b (a was just touched)
-	if _, _, _, ok := c.get("b"); ok {
+	c.put("c", res(3), nil, []int{30}, nil) // evicts b (a was just touched)
+	if _, _, _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if r, _, _, ok := c.get("a"); !ok || r.Score.Cost != 1 {
+	if r, _, _, _, ok := c.get("a"); !ok || r.Score.Cost != 1 {
 		t.Error("a lost or corrupted")
 	}
-	if r, _, _, ok := c.get("c"); !ok || r.Score.Cost != 3 {
+	if r, _, _, _, ok := c.get("c"); !ok || r.Score.Cost != 3 {
 		t.Error("c lost or corrupted")
 	}
 	st := c.stats()
@@ -37,9 +38,10 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 
 	// Overwriting an existing key must not grow the cache.
-	c.put("a", res(10), []TraceEvent{{Evals: 1}}, []int{99, 101})
-	if r, tr, ev, ok := c.get("a"); !ok || r.Score.Cost != 10 || len(tr) != 1 ||
-		len(ev) != 2 || ev[0] != 99 || ev[1] != 101 {
+	c.put("a", res(10), []TraceEvent{{Evals: 1}}, []int{99, 101}, &scenario.Report{Power: &scenario.PowerReport{Feasible: true}})
+	if r, tr, ev, rep, ok := c.get("a"); !ok || r.Score.Cost != 10 || len(tr) != 1 ||
+		len(ev) != 2 || ev[0] != 99 || ev[1] != 101 ||
+		rep == nil || rep.Power == nil || !rep.Power.Feasible {
 		t.Error("overwrite lost data")
 	}
 	if c.stats().Size != 2 {
@@ -49,8 +51,8 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheDisabled(t *testing.T) {
 	c := newResultCache(-1)
-	c.put("a", core.RunResult{}, nil, []int{1})
-	if _, _, _, ok := c.get("a"); ok {
+	c.put("a", core.RunResult{}, nil, []int{1}, nil)
+	if _, _, _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache stored an entry")
 	}
 }
@@ -78,22 +80,23 @@ func TestResultCacheConcurrentHammer(t *testing.T) {
 				switch i % 4 {
 				case 0:
 					c.put(key, core.RunResult{Score: core.Score{Cost: float64(i)}},
-						[]TraceEvent{{Evals: i}}, []int{i, i + 1})
+						[]TraceEvent{{Evals: i}}, []int{i, i + 1}, &scenario.Report{})
 				case 1:
-					if res, trace, islands, ok := c.get(key); ok {
+					if res, trace, islands, rep, ok := c.get(key); ok {
 						// An entry must always be read back whole: case 0
-						// writes (trace len 1, islands len 2), case 2
-						// writes (no trace, islands len 1). Any other
-						// combination means a torn entry.
+						// writes (trace len 1, islands len 2, a report),
+						// case 2 writes (no trace, islands len 1, nil
+						// report). Any other combination means a torn entry.
 						if len(islands) == 0 ||
-							(len(trace) == 1) != (len(islands) == 2) {
-							t.Errorf("torn cache entry: res=%+v trace=%d islands=%v",
-								res.Score, len(trace), islands)
+							(len(trace) == 1) != (len(islands) == 2) ||
+							(len(trace) == 1) != (rep != nil) {
+							t.Errorf("torn cache entry: res=%+v trace=%d islands=%v report=%v",
+								res.Score, len(trace), islands, rep != nil)
 							return
 						}
 					}
 				case 2:
-					c.put(key, core.RunResult{}, nil, []int{i})
+					c.put(key, core.RunResult{}, nil, []int{i}, nil)
 					c.get(fmt.Sprintf("k%d", i%keySpace))
 				default:
 					c.stats()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"sync"
 )
 
@@ -32,10 +33,11 @@ type Job struct {
 	spec Spec
 	key  string
 
-	// prob is built at submission (validating the request) and handed to
-	// the single worker that runs the job; Problems are not safe for
-	// concurrent use, so nothing else may touch it.
-	prob *core.Problem
+	// comp is the compiled scenario, built at submission (validating the
+	// request) and handed to the single worker that runs the job; the
+	// problem it owns is not safe for concurrent use, so nothing else may
+	// touch it.
+	comp *scenario.Compiled
 
 	noCache bool
 
@@ -53,17 +55,18 @@ type Job struct {
 	islandEvals []int
 	best        *core.Score
 	result      *core.RunResult
+	report      *scenario.Report
 	trace       []TraceEvent
 	errMsg      string
 }
 
-func newJob(id string, spec Spec, key string, prob *core.Problem, noCache bool, parent context.Context) *Job {
+func newJob(id string, spec Spec, key string, comp *scenario.Compiled, noCache bool, parent context.Context) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	return &Job{
 		id:          id,
 		spec:        spec,
 		key:         key,
-		prob:        prob,
+		comp:        comp,
 		noCache:     noCache,
 		ctx:         ctx,
 		cancel:      cancel,
@@ -80,7 +83,7 @@ func newJob(id string, spec Spec, key string, prob *core.Problem, noCache bool, 
 // multi-seed spec reports the same number of islands — and the same
 // totals — the live run ended with, and clients diffing status across
 // hit and miss see one shape.
-func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, islandEvals []int) *Job {
+func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []TraceEvent, islandEvals []int, report *scenario.Report) *Job {
 	now := time.Now()
 	// Every cache entry is written from a finished job's snapshot, whose
 	// breakdown has exactly spec.Seeds (>= 1) entries — copy it so the
@@ -102,7 +105,10 @@ func newCachedJob(id string, spec Spec, key string, res core.RunResult, trace []
 		finished:    now,
 		islandEvals: evals,
 		result:      &res,
-		trace:       trace,
+		// The report is deterministic in the spec, so the cached one is
+		// replayed verbatim — hits and misses return identical payloads.
+		report: report,
+		trace:  trace,
 	}
 	j.best = &res.Score
 	close(j.done)
@@ -168,7 +174,7 @@ func (j *Job) improve(island, evals int, best core.Score) {
 }
 
 // finish records the terminal state of an executed job.
-func (j *Job) finish(state State, res *core.RunResult, err error) {
+func (j *Job) finish(state State, res *core.RunResult, report *scenario.Report, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
@@ -177,9 +183,11 @@ func (j *Job) finish(state State, res *core.RunResult, err error) {
 	j.state = state
 	j.finished = time.Now()
 	j.result = res
-	// The worker was the problem's only user; release the network/path
-	// tables now so finished jobs in the registry do not pin them.
-	j.prob = nil
+	j.report = report
+	// The worker was the compiled scenario's only user; release the
+	// network/path tables now so finished jobs in the registry do not pin
+	// them.
+	j.comp = nil
 	if res != nil {
 		j.best = &res.Score
 	}
@@ -287,6 +295,7 @@ func (j *Job) snapshotResult() (JobResult, State, bool) {
 		DurationMs: float64(r.Duration) / float64(time.Millisecond),
 		Seed:       r.Seed,
 		Cancelled:  r.Cancelled,
+		Report:     j.report,
 	}, j.state, true
 }
 

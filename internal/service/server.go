@@ -144,6 +144,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/routers", s.handleRouters)
+	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
 
@@ -223,7 +225,8 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one dequeued job end to end.
+// runJob executes one dequeued job end to end: the optimization run,
+// then the spec's post-optimization analyses on the winning mapping.
 func (s *Server) runJob(j *Job) {
 	if !j.markRunning() {
 		return // cancelled while queued
@@ -243,21 +246,33 @@ func (s *Server) runJob(j *Job) {
 	}
 	switch {
 	case err != nil && j.ctx.Err() != nil:
-		j.finish(StateCancelled, nil, err)
+		j.finish(StateCancelled, nil, nil, err)
 	case err != nil:
-		j.finish(StateFailed, nil, err)
+		j.finish(StateFailed, nil, nil, err)
 	case res.Cancelled:
 		// Truncated by cancellation (res.Cancelled is false for runs that
 		// spent their whole budget even if the cancel landed late, so
 		// complete results are never mislabelled or lost from the cache).
+		// The analyses are skipped: they take no cancellation context, so
+		// running them here would keep the worker busy long after the
+		// DELETE (or shutdown) that asked it to stop. The partial result
+		// ships without a report and is never cached.
 		r := res
-		j.finish(StateCancelled, &r, nil)
+		j.finish(StateCancelled, &r, nil, nil)
 	default:
+		rep, aerr := j.comp.Analyze(res.Mapping, res.Score)
+		if aerr != nil {
+			// The optimization spent its budget but the requested analysis
+			// could not run; that is a failed job, not a silent success
+			// with a missing report.
+			j.finish(StateFailed, nil, nil, aerr)
+			return
+		}
 		r := res
-		j.finish(StateDone, &r, nil)
+		j.finish(StateDone, &r, rep, nil)
 		if !j.noCache {
 			_, trace = j.snapshotTrace()
-			s.cache.put(j.key, res, trace, j.snapshotIslandEvals())
+			s.cache.put(j.key, res, trace, j.snapshotIslandEvals(), rep)
 		}
 	}
 }
@@ -267,7 +282,7 @@ func (s *Server) runSingle(j *Job) (core.RunResult, error) {
 	if err != nil {
 		return core.RunResult{}, err
 	}
-	ex, err := core.NewExploration(j.prob, core.Options{
+	ex, err := core.NewExploration(j.comp.Problem, core.Options{
 		Budget:     j.spec.Budget,
 		Seed:       j.spec.Seed,
 		Context:    j.ctx,
@@ -282,7 +297,7 @@ func (s *Server) runSingle(j *Job) (core.RunResult, error) {
 
 func (s *Server) runIslands(j *Job) (core.RunResult, error) {
 	factory := func() (core.Searcher, error) { return search.New(j.spec.Algorithm) }
-	best, _, err := core.RunParallel(j.prob, factory, core.ParallelOptions{
+	best, _, err := core.RunParallel(j.comp.Problem, factory, core.ParallelOptions{
 		Budget:     j.spec.Budget,
 		Seeds:      core.SeedSequence(j.spec.Seed, j.spec.Seeds),
 		Workers:    0, // islands of one job may use the whole machine
@@ -413,8 +428,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := s.newJobID()
 
 	if !req.NoCache {
-		if res, trace, islandEvals, ok := s.cache.get(key); ok {
-			j := newCachedJob(id, spec, key, res, trace, islandEvals)
+		if res, trace, islandEvals, report, ok := s.cache.get(key); ok {
+			j := newCachedJob(id, spec, key, res, trace, islandEvals, report)
 			s.register(j)
 			writeJSON(w, http.StatusOK, j.status())
 			return
@@ -423,13 +438,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Cache miss: now pay for the network/problem construction (and get
 	// the Eq. 2 fit check) before committing the job to the queue.
-	prob, err := buildProblem(spec)
+	comp, err := compile(spec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 
-	j := newJob(id, spec, key, prob, req.NoCache, s.baseCtx)
+	j := newJob(id, spec, key, comp, req.NoCache, s.baseCtx)
 	select {
 	case s.queue <- j:
 		// Re-check after the enqueue: a Shutdown that began between the
@@ -563,6 +578,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			Budget:    c.Budget,
 			Seed:      c.Seed,
 			Seeds:     c.Islands,
+			Analyses:  c.Analyses,
 		}, lim)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, apiError{
@@ -634,6 +650,14 @@ func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, search.Names())
+}
+
+func (s *Server) handleRouters(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Routers())
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Topologies())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -549,8 +549,8 @@ func TestSpecKeyStability(t *testing.T) {
 	if s3.Key() == s1.Key() {
 		t.Error("different seeds collide")
 	}
-	if _, err := buildProblem(s1); err != nil {
-		t.Fatalf("buildProblem on a normalized spec: %v", err)
+	if _, err := compile(s1); err != nil {
+		t.Fatalf("compile on a normalized spec: %v", err)
 	}
 }
 

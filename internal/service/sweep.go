@@ -7,6 +7,7 @@ import (
 
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/sweep"
 )
 
@@ -23,6 +24,10 @@ type SweepRequest struct {
 	Seeds      []int64           `json:"seeds,omitempty"`
 	// Islands > 1 runs every cell in multi-seed islands mode.
 	Islands int `json:"islands,omitempty"`
+	// Analyses runs the scenario analysis pipeline on every cell's
+	// winning mapping; per-cell reports come back in the sweep result and
+	// feed the analysis-derived aggregation columns.
+	Analyses *scenario.AnalysesSpec `json:"analyses,omitempty"`
 	// NoCache skips the result cache on both lookup and fill for every
 	// cell, and disables within-sweep cell deduplication.
 	NoCache bool `json:"no_cache,omitempty"`
@@ -38,6 +43,7 @@ func (r SweepRequest) grid() sweep.Spec {
 		Budgets:    r.Budgets,
 		Seeds:      r.Seeds,
 		Islands:    r.Islands,
+		Analyses:   r.Analyses,
 	}
 }
 
@@ -80,19 +86,25 @@ type SweepCellResult struct {
 	Score   core.Score   `json:"score"`
 	Mapping core.Mapping `json:"mapping,omitempty"`
 	Evals   int          `json:"evals"`
-	Error   string       `json:"error,omitempty"`
+	// Report is the cell's analysis report (cache hits replay the live
+	// run's report verbatim).
+	Report *scenario.Report `json:"report,omitempty"`
+	Error  string           `json:"error,omitempty"`
 }
 
 // SweepResult is the GET /v1/sweeps/{id}/result payload: the per-cell
 // outcomes plus the sweep engine's aggregations — Table II comparison
-// rows, budget-ablation curves and per-application Pareto fronts.
+// rows, budget-ablation curves, per-application Pareto fronts
+// (report-annotated when analyses ran) and the analysis-derived summary
+// columns.
 type SweepResult struct {
-	ID           string                        `json:"id"`
-	State        State                         `json:"state"`
-	Cells        []SweepCellResult             `json:"cells"`
-	Table        []sweep.TableRow              `json:"table,omitempty"`
-	BudgetCurves []sweep.BudgetPoint           `json:"budget_curves,omitempty"`
-	Pareto       map[string][]core.ParetoPoint `json:"pareto,omitempty"`
+	ID           string                         `json:"id"`
+	State        State                          `json:"state"`
+	Cells        []SweepCellResult              `json:"cells"`
+	Table        []sweep.TableRow               `json:"table,omitempty"`
+	BudgetCurves []sweep.BudgetPoint            `json:"budget_curves,omitempty"`
+	Pareto       map[string][]sweep.ParetoEntry `json:"pareto,omitempty"`
+	Analysis     []sweep.AnalysisRow            `json:"analysis,omitempty"`
 }
 
 // sweepCell binds one expanded grid cell to its normalized job spec and,
@@ -347,6 +359,7 @@ func (sw *Sweep) result() SweepResult {
 		cr.Score = res.Score
 		cr.Mapping = res.Mapping
 		cr.Evals = res.Evals
+		cr.Report = res.Report
 		out.Cells = append(out.Cells, cr)
 		if jState == StateDone {
 			agg = append(agg, sweep.Result{
@@ -359,12 +372,14 @@ func (sw *Sweep) result() SweepResult {
 					Evals:     res.Evals,
 					Seed:      res.Seed,
 				},
+				Report: res.Report,
 			})
 		}
 	}
 	out.Table = sweep.Table(agg)
 	out.BudgetCurves = sweep.BudgetCurves(agg)
-	out.Pareto = sweep.ParetoFronts(agg)
+	out.Pareto = sweep.AnnotatedParetoFronts(agg)
+	out.Analysis = sweep.AnalysisSummary(agg)
 	return out
 }
 
@@ -393,26 +408,26 @@ func (s *Server) runSweep(sw *Sweep) {
 				sw.setJob(i, j)
 				continue
 			}
-			if res, trace, islandEvals, ok := s.cache.get(sc.key); ok {
-				j := newCachedJob(s.newJobID(), sc.spec, sc.key, res, trace, islandEvals)
+			if res, trace, islandEvals, report, ok := s.cache.get(sc.key); ok {
+				j := newCachedJob(s.newJobID(), sc.spec, sc.key, res, trace, islandEvals, report)
 				s.register(j)
 				sw.setJob(i, j)
 				byKey[sc.key] = j
 				continue
 			}
 		}
-		prob, err := buildProblem(sc.spec)
+		comp, err := compile(sc.spec)
 		if err != nil {
 			// Expansion validated the grid, so a build failure here is
 			// exotic (e.g. pathological custom photonic parameters); it
 			// fails this cell, not the sweep.
 			j := newJob(s.newJobID(), sc.spec, sc.key, nil, sw.noCache, sw.ctx)
-			j.finish(StateFailed, nil, err)
+			j.finish(StateFailed, nil, nil, err)
 			s.register(j)
 			sw.setJob(i, j)
 			continue
 		}
-		j := newJob(s.newJobID(), sc.spec, sc.key, prob, sw.noCache, sw.ctx)
+		j := newJob(s.newJobID(), sc.spec, sc.key, comp, sw.noCache, sw.ctx)
 		s.register(j)
 		sw.setJob(i, j)
 		if !sw.noCache {

@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"math"
 	"sort"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 )
 
 // TableCell is one algorithm/topology cell of a comparison table: the
@@ -162,6 +164,146 @@ func ParetoFronts(results []Result) map[string][]core.ParetoPoint {
 	out := make(map[string][]core.ParetoPoint, len(fronts))
 	for app, f := range fronts {
 		out[app] = f.Points()
+	}
+	return out
+}
+
+// AnalysisRow aggregates the analysis reports of one application's cells
+// into the sweep's analysis-derived comparison columns. Counters tell
+// how many cells contributed to each column, so a fraction over a
+// partial grid is never mistaken for one over the whole grid.
+type AnalysisRow struct {
+	App string `json:"app"`
+	// Cells counts the successful cells of the application; Reports those
+	// that carried an analysis report.
+	Cells   int `json:"cells"`
+	Reports int `json:"reports"`
+	// PowerFeasibleFraction is the fraction of power-assessed cells whose
+	// design point fit the optical power budget.
+	PowerAssessed         int     `json:"power_assessed,omitempty"`
+	PowerFeasibleFraction float64 `json:"power_feasible_fraction"`
+	// WorstVariationSNRDB is the most pessimistic finite SNR any
+	// robustness study of the application observed.
+	RobustnessAssessed  int     `json:"robustness_assessed,omitempty"`
+	WorstVariationSNRDB float64 `json:"worst_variation_snr_db"`
+	// SaturationLoad is the smallest per-cell saturation point over the
+	// simulated cells — the load headroom the worst mapping guarantees.
+	SimAssessed    int     `json:"sim_assessed,omitempty"`
+	SaturationLoad float64 `json:"saturation_load"`
+	// WDMMaxChannels is the largest wavelength count any cell needed for
+	// contention-free operation.
+	WDMAssessed    int `json:"wdm_assessed,omitempty"`
+	WDMMaxChannels int `json:"wdm_max_channels"`
+}
+
+// AnalysisSummary folds the per-cell analysis reports into one row per
+// application (in order of first appearance, like Table): power-feasible
+// fraction, worst SNR under parameter variation, worst simulated
+// saturation point and peak WDM channel demand. Failed cells and cells
+// without reports are skipped (but counted in Cells when successful).
+func AnalysisSummary(results []Result) []AnalysisRow {
+	byApp := make(map[string]*AnalysisRow)
+	var order []string
+	feasible := make(map[string]int)
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		app := r.Cell.AppName()
+		row, ok := byApp[app]
+		if !ok {
+			row = &AnalysisRow{App: app, WorstVariationSNRDB: math.Inf(1), SaturationLoad: math.Inf(1)}
+			byApp[app] = row
+			order = append(order, app)
+		}
+		row.Cells++
+		rep := r.Report
+		if rep == nil {
+			continue
+		}
+		row.Reports++
+		if rep.Power != nil {
+			row.PowerAssessed++
+			if rep.Power.Feasible {
+				feasible[app]++
+			}
+		}
+		if rep.Robustness != nil {
+			row.RobustnessAssessed++
+			if rep.Robustness.WorstSNRDB < row.WorstVariationSNRDB {
+				row.WorstVariationSNRDB = rep.Robustness.WorstSNRDB
+			}
+		}
+		if rep.Sim != nil {
+			row.SimAssessed++
+			if rep.Sim.SaturationLoad < row.SaturationLoad {
+				row.SaturationLoad = rep.Sim.SaturationLoad
+			}
+		}
+		if rep.WDM != nil {
+			row.WDMAssessed++
+			if rep.WDM.Channels > row.WDMMaxChannels {
+				row.WDMMaxChannels = rep.WDM.Channels
+			}
+		}
+	}
+	rows := make([]AnalysisRow, 0, len(order))
+	for _, app := range order {
+		row := byApp[app]
+		if row.PowerAssessed > 0 {
+			row.PowerFeasibleFraction = float64(feasible[app]) / float64(row.PowerAssessed)
+		}
+		// Columns no cell contributed to read as zero, not +Inf (which
+		// JSON cannot carry anyway).
+		if row.RobustnessAssessed == 0 {
+			row.WorstVariationSNRDB = 0
+		}
+		if row.SimAssessed == 0 {
+			row.SaturationLoad = 0
+		}
+		rows = append(rows, *row)
+	}
+	return rows
+}
+
+// ParetoEntry is one non-dominated point of an annotated Pareto front:
+// the point itself plus the producing cell and its analysis report, so
+// multi-objective views carry the physical-feasibility columns.
+type ParetoEntry struct {
+	core.ParetoPoint
+	// CellIndex is the grid position of the cell whose best mapping the
+	// point is.
+	CellIndex int `json:"cell_index"`
+	// Report is that cell's analysis report (nil when none was run).
+	Report *scenario.Report `json:"report,omitempty"`
+}
+
+// AnnotatedParetoFronts builds, per application, the Pareto front of
+// (worst-case loss, worst-case SNR) over the best mappings of every
+// successful cell — like ParetoFronts — and annotates each surviving
+// point with the cell that produced it and that cell's analysis report.
+// Ties on an identical score keep the earlier cell, so annotation is
+// deterministic regardless of execution order.
+func AnnotatedParetoFronts(results []Result) map[string][]ParetoEntry {
+	fronts := ParetoFronts(results)
+	out := make(map[string][]ParetoEntry, len(fronts))
+	for app, pts := range fronts {
+		entries := make([]ParetoEntry, 0, len(pts))
+		for _, p := range pts {
+			e := ParetoEntry{ParetoPoint: p, CellIndex: -1}
+			for _, r := range results {
+				if r.Err != nil || r.Cell.AppName() != app {
+					continue
+				}
+				if r.Run.Score.WorstLossDB == p.WorstLossDB && r.Run.Score.WorstSNRDB == p.WorstSNRDB {
+					e.CellIndex = r.Index
+					e.Report = r.Report
+					break
+				}
+			}
+			entries = append(entries, e)
+		}
+		out[app] = entries
 	}
 	return out
 }

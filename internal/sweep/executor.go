@@ -8,15 +8,17 @@ import (
 	"sync"
 
 	"phonocmap/internal/core"
-	"phonocmap/internal/search"
+	"phonocmap/internal/scenario"
 )
 
-// Runner executes one cell under the sweep's context. A cancelled
-// runner should return the best partial result it has (with
-// core.RunResult.Cancelled set) or an error when nothing was evaluated.
-// Runners that need finer-grained cancellation derive their own context
-// per cell (the service's job runner does, through job contexts).
-type Runner func(ctx context.Context, c Cell) (core.RunResult, error)
+// Runner executes one cell under the sweep's context, returning the
+// optimization run and the cell's analysis report (nil when the cell
+// requests no analyses). A cancelled runner should return the best
+// partial result it has (with core.RunResult.Cancelled set) or an error
+// when nothing was evaluated. Runners that need finer-grained
+// cancellation derive their own context per cell (the service's job
+// runner does, through job contexts).
+type Runner func(ctx context.Context, c Cell) (core.RunResult, *scenario.Report, error)
 
 // Result is the outcome of one executed cell.
 type Result struct {
@@ -24,6 +26,9 @@ type Result struct {
 	Index int
 	Cell  Cell
 	Run   core.RunResult
+	// Report is the cell's post-optimization analysis report (nil when
+	// the cell requested no analyses, or on failure).
+	Report *scenario.Report
 	// Err is non-nil when the cell failed (or was cancelled before any
 	// evaluation); Run is then zero-valued.
 	Err error
@@ -61,7 +66,7 @@ func Run(cells []Cell, run Runner, opts Options) ([]Result, error) {
 	done := make([]bool, len(cells))
 	err := ForEach(parent, len(cells), opts.Workers, func(ctx context.Context, i int) error {
 		res := Result{Index: i, Cell: cells[i]}
-		res.Run, res.Err = run(ctx, cells[i])
+		res.Run, res.Report, res.Err = run(ctx, cells[i])
 		results[i] = res
 		done[i] = true
 		if opts.OnCellDone != nil {
@@ -155,38 +160,25 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	return ctx.Err()
 }
 
-// RunCell is the local Runner: it builds the cell's problem and executes
-// the cell in-process — a single seeded exploration, or islands mode
-// when Cell.Islands > 1. The seed derivation is identical to the
-// service's job execution (core.NewExploration with the cell seed), so
-// local sweeps, internal/experiments drivers and service sweeps produce
-// bit-identical results for equal cells.
-func RunCell(ctx context.Context, c Cell) (core.RunResult, error) {
-	prob, err := c.BuildProblem()
+// RunCell is the local Runner: it compiles and executes the cell
+// in-process through the scenario pipeline — a single seeded
+// exploration, or islands mode when Cell.Islands > 1, followed by the
+// cell's analyses on the winning mapping. The seed derivation is
+// identical to the service's job execution (core.NewExploration with the
+// cell seed), so local sweeps, internal/experiments drivers and service
+// sweeps produce bit-identical results for equal cells.
+func RunCell(ctx context.Context, c Cell) (core.RunResult, *scenario.Report, error) {
+	comp, err := c.Compile()
 	if err != nil {
-		return core.RunResult{}, err
+		return core.RunResult{}, nil, err
 	}
-	if c.Islands > 1 {
-		factory := func() (core.Searcher, error) { return search.New(c.Algorithm) }
-		best, _, err := core.RunParallel(prob, factory, core.ParallelOptions{
-			Budget:  c.Budget,
-			Seeds:   core.SeedSequence(c.Seed, c.Islands),
-			Workers: 0,
-			Context: ctx,
-		})
-		return best, err
-	}
-	alg, err := search.New(c.Algorithm)
+	run, err := comp.Optimize(ctx)
 	if err != nil {
-		return core.RunResult{}, err
+		return core.RunResult{}, nil, err
 	}
-	ex, err := core.NewExploration(prob, core.Options{
-		Budget:  c.Budget,
-		Seed:    c.Seed,
-		Context: ctx,
-	})
+	rep, err := comp.Analyze(run.Mapping, run.Score)
 	if err != nil {
-		return core.RunResult{}, err
+		return core.RunResult{}, nil, err
 	}
-	return ex.Run(alg)
+	return run, rep, nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 )
 
@@ -46,6 +47,11 @@ type Spec struct {
 	// Islands > 1 runs every cell in multi-seed islands mode with that
 	// many concurrent seeded searches (seed, seed+1, ...).
 	Islands int `json:"islands,omitempty"`
+	// Analyses, when present, runs the scenario analysis pipeline (wdm,
+	// power, robustness, link failures, traffic sim) on every cell's
+	// winning mapping; per-cell reports feed the analysis-derived
+	// aggregation columns.
+	Analyses *scenario.AnalysesSpec `json:"analyses,omitempty"`
 }
 
 // normalize fills the spec's dimension defaults in place.
@@ -106,6 +112,9 @@ type Cell struct {
 	Seed      int64           `json:"seed"`
 	// Islands is the multi-seed island count (1 = single run).
 	Islands int `json:"islands"`
+	// Analyses is the normalized post-optimization analysis block shared
+	// by the whole grid (nil = none).
+	Analyses *scenario.AnalysesSpec `json:"analyses,omitempty"`
 }
 
 // AppName is the cell's application label for aggregation: the builtin
@@ -125,23 +134,38 @@ func (c Cell) Label() string {
 		c.Objective, c.Algorithm, c.Budget, c.Seed)
 }
 
-// BuildProblem constructs the runtime problem instance the cell
-// describes, including the Eq. 2 fit check. The caller owns the problem
-// (problems are not safe for concurrent use).
+// Scenario converts the cell into the equivalent scenario spec — the
+// exact shape the optimization service normalizes and content-addresses,
+// so a cell and the job it becomes share one identity.
+func (c Cell) Scenario() scenario.Spec {
+	return scenario.Spec{
+		App:       c.App,
+		Arch:      c.Arch,
+		Objective: c.Objective,
+		Algorithm: c.Algorithm,
+		Budget:    c.Budget,
+		Seed:      c.Seed,
+		Seeds:     c.Islands,
+		Analyses:  c.Analyses,
+	}
+}
+
+// Compile builds the runnable scenario the cell describes through the
+// scenario compiler (the single spec-to-problem path), including the
+// Eq. 2 fit check. The caller owns the result (problems are not safe for
+// concurrent use).
+func (c Cell) Compile() (*scenario.Compiled, error) {
+	return scenario.Compile(c.Scenario())
+}
+
+// BuildProblem is Compile reduced to the problem instance, for callers
+// that only optimize.
 func (c Cell) BuildProblem() (*core.Problem, error) {
-	app, err := c.App.Build()
+	comp, err := c.Compile()
 	if err != nil {
 		return nil, err
 	}
-	nw, err := c.Arch.Build()
-	if err != nil {
-		return nil, err
-	}
-	obj, err := core.ParseObjective(c.Objective)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewProblem(app, nw, obj)
+	return comp.Problem, nil
 }
 
 // MaxExpandCells is the absolute ceiling on a grid's cell count: an
@@ -199,23 +223,32 @@ func Expand(spec Spec) ([]Cell, error) {
 				for _, algo := range spec.Algorithms {
 					for _, budget := range spec.Budgets {
 						for _, seed := range spec.Seeds {
-							exp := config.Experiment{
+							sc := scenario.Spec{
 								App:       appSpec,
 								Arch:      arch,
 								Objective: obj,
 								Algorithm: algo,
 								Budget:    budget,
 								Seed:      seed,
+								Seeds:     spec.Islands,
+								Analyses:  spec.Analyses,
 							}
-							exp.Normalize()
+							// The scenario compiler is the one normalization
+							// path; its validation also covers analysis/
+							// architecture consistency (e.g. link-failure
+							// analysis on a turn-restricted router).
+							if _, err := sc.Normalize(); err != nil {
+								return nil, err
+							}
 							cells = append(cells, Cell{
-								App:       exp.App,
-								Arch:      exp.Arch,
-								Objective: exp.Objective,
-								Algorithm: exp.Algorithm,
-								Budget:    exp.Budget,
-								Seed:      exp.Seed,
-								Islands:   spec.Islands,
+								App:       sc.App,
+								Arch:      sc.Arch,
+								Objective: sc.Objective,
+								Algorithm: sc.Algorithm,
+								Budget:    sc.Budget,
+								Seed:      sc.Seed,
+								Islands:   sc.Seeds,
+								Analyses:  sc.Analyses,
 							})
 						}
 					}

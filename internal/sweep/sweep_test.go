@@ -11,6 +11,7 @@ import (
 
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 )
 
 func builtin(name string) config.AppSpec { return config.AppSpec{Builtin: name} }
@@ -178,11 +179,11 @@ func TestRunExecutesEveryCellDeterministically(t *testing.T) {
 func TestRunPerCellFailureIsolation(t *testing.T) {
 	cells := []Cell{{Seed: 0}, {Seed: 1}, {Seed: 2}}
 	boom := errors.New("boom")
-	results, err := Run(cells, func(_ context.Context, c Cell) (core.RunResult, error) {
+	results, err := Run(cells, func(_ context.Context, c Cell) (core.RunResult, *scenario.Report, error) {
 		if c.Seed == 1 {
-			return core.RunResult{}, boom
+			return core.RunResult{}, nil, boom
 		}
-		return core.RunResult{Evals: int(c.Seed) + 1}, nil
+		return core.RunResult{Evals: int(c.Seed) + 1}, nil, nil
 	}, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +205,7 @@ func TestRunCancellationSkipsUnstartedCells(t *testing.T) {
 	block := make(chan struct{})
 	var once sync.Once
 	cells := make([]Cell, 16)
-	results, err := Run(cells, func(cellCtx context.Context, _ Cell) (core.RunResult, error) {
+	results, err := Run(cells, func(cellCtx context.Context, _ Cell) (core.RunResult, *scenario.Report, error) {
 		started.Add(1)
 		once.Do(func() {
 			cancel() // cancel the sweep from inside the first running cell
@@ -212,9 +213,9 @@ func TestRunCancellationSkipsUnstartedCells(t *testing.T) {
 		})
 		<-block
 		if cellCtx.Err() != nil {
-			return core.RunResult{}, cellCtx.Err()
+			return core.RunResult{}, nil, cellCtx.Err()
 		}
-		return core.RunResult{Evals: 1}, nil
+		return core.RunResult{Evals: 1}, nil, nil
 	}, Options{Workers: 1, Context: ctx})
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +274,7 @@ func TestRunCellIslandsMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunCell(context.Background(), cells[0])
+	res, _, err := RunCell(context.Background(), cells[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestRunCellIslandsMode(t *testing.T) {
 	// with the same base seed (islands include that seed).
 	single := cells[0]
 	single.Islands = 1
-	sres, err := RunCell(context.Background(), single)
+	sres, _, err := RunCell(context.Background(), single)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,5 +386,135 @@ func TestCellLabelAndBuildProblem(t *testing.T) {
 	}
 	if s := fmt.Sprint(cells[0]); s == "" {
 		t.Error("cells must be printable plain data")
+	}
+}
+
+// TestExpandNormalizesAnalyses: the grid's analyses block is normalized
+// once per cell through the scenario compiler, every cell carries its
+// own detached copy, and invalid combinations (link failures on a
+// turn-restricted router) are rejected at expansion time.
+func TestExpandNormalizesAnalyses(t *testing.T) {
+	cells, err := Expand(Spec{
+		Apps:     []config.AppSpec{builtin("PIP")},
+		Seeds:    []int64{1, 2},
+		Analyses: &scenario.AnalysesSpec{Robustness: &scenario.RobustnessSpec{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		if c.Analyses == nil || c.Analyses.Robustness == nil || c.Analyses.Robustness.Samples != 50 {
+			t.Fatalf("cell %d analyses not normalized: %+v", i, c.Analyses)
+		}
+	}
+	if cells[0].Analyses == cells[1].Analyses {
+		t.Error("cells share one analyses pointer")
+	}
+
+	// Link-failure analysis needs an all-turn router; the default crux
+	// grid must be rejected up front.
+	if _, err := Expand(Spec{
+		Apps:     []config.AppSpec{builtin("PIP")},
+		Analyses: &scenario.AnalysesSpec{LinkFailures: &scenario.LinkFailuresSpec{}},
+	}); err == nil {
+		t.Error("link-failure analyses on crux accepted")
+	}
+}
+
+// TestRunCellCarriesReport: the local runner executes the cell's
+// analyses and returns the report alongside the run.
+func TestRunCellCarriesReport(t *testing.T) {
+	cells, err := Expand(Spec{
+		Apps:       []config.AppSpec{builtin("PIP")},
+		Algorithms: []string{"rs"},
+		Budgets:    []int{120},
+		Analyses:   &scenario.AnalysesSpec{Power: &scenario.PowerSpec{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, rep, err := RunCell(context.Background(), cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Power == nil {
+		t.Fatalf("report missing: %+v", rep)
+	}
+	if rep.Power.ChannelPowerDBm != -20-run.Score.WorstLossDB {
+		t.Errorf("report inconsistent with run: %v vs loss %v", rep.Power.ChannelPowerDBm, run.Score.WorstLossDB)
+	}
+}
+
+// TestAnalysisSummaryAndAnnotatedPareto: the analysis-derived
+// aggregation columns fold deterministically.
+func TestAnalysisSummaryAndAnnotatedPareto(t *testing.T) {
+	rep := func(feasible bool, worstSNR, satLoad float64, channels int) *scenario.Report {
+		return &scenario.Report{
+			Power:      &scenario.PowerReport{Feasible: feasible},
+			Robustness: &scenario.RobustnessReport{WorstSNRDB: worstSNR},
+			Sim:        &scenario.SimReport{SaturationLoad: satLoad},
+			WDM:        &scenario.WDMReport{Channels: channels},
+		}
+	}
+	mkRes := func(idx int, app string, loss, snr float64, r *scenario.Report) Result {
+		return Result{
+			Index:  idx,
+			Cell:   Cell{App: builtin(app), Objective: "snr"},
+			Run:    core.RunResult{Mapping: core.Mapping{0}, Score: core.Score{Cost: -snr, WorstLossDB: loss, WorstSNRDB: snr}},
+			Report: r,
+		}
+	}
+	results := []Result{
+		mkRes(0, "PIP", -2, 20, rep(true, 15, 4, 2)),
+		mkRes(1, "PIP", -1, 18, rep(false, 12, 2, 3)),
+		mkRes(2, "PIP", -3, 22, nil), // no report
+		{Index: 3, Cell: Cell{App: builtin("PIP")}, Err: errors.New("boom")},
+	}
+	rows := AnalysisSummary(results)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Cells != 3 || r.Reports != 2 || r.PowerAssessed != 2 {
+		t.Errorf("counters %+v", r)
+	}
+	if r.PowerFeasibleFraction != 0.5 {
+		t.Errorf("feasible fraction %v, want 0.5", r.PowerFeasibleFraction)
+	}
+	if r.WorstVariationSNRDB != 12 {
+		t.Errorf("worst variation SNR %v, want 12", r.WorstVariationSNRDB)
+	}
+	if r.SaturationLoad != 2 {
+		t.Errorf("saturation load %v, want 2 (worst cell)", r.SaturationLoad)
+	}
+	if r.WDMMaxChannels != 3 {
+		t.Errorf("wdm max channels %v, want 3", r.WDMMaxChannels)
+	}
+
+	fronts := AnnotatedParetoFronts(results)
+	entries := fronts["PIP"]
+	if len(entries) == 0 {
+		t.Fatal("no annotated Pareto entries")
+	}
+	for _, e := range entries {
+		switch e.CellIndex {
+		case 0, 1:
+			if e.Report == nil {
+				t.Errorf("entry for cell %d lost its report", e.CellIndex)
+			}
+		case 2:
+			if e.Report != nil {
+				t.Errorf("entry for cell 2 gained a report")
+			}
+		default:
+			t.Errorf("entry annotated with unexpected cell %d", e.CellIndex)
+		}
+	}
+
+	// Apps without any reports still summarize (zero columns, not Inf).
+	bare := []Result{mkRes(0, "MWD", -1, 10, nil)}
+	rows = AnalysisSummary(bare)
+	if rows[0].WorstVariationSNRDB != 0 || rows[0].SaturationLoad != 0 {
+		t.Errorf("report-free columns not zeroed: %+v", rows[0])
 	}
 }

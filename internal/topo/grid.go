@@ -7,6 +7,9 @@ import "fmt"
 // the common assumption in the photonic NoC literature the paper builds on.
 const DefaultDieCm = 2.0
 
+// Kinds lists the built-in topology kinds the config layer can build.
+func Kinds() []string { return []string{"mesh", "torus", "ring"} }
+
 // Grid is a W x H direct topology, either a mesh (Wrap == false) or a
 // folded torus (Wrap == true). Tiles are numbered row-major: tile (x, y)
 // has ID y*W + x, with x growing eastward and y growing southward.

@@ -34,6 +34,7 @@ import (
 	"phonocmap/internal/power"
 	"phonocmap/internal/robust"
 	"phonocmap/internal/router"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sim"
 	"phonocmap/internal/sweep"
@@ -105,6 +106,35 @@ type (
 	SweepTableRow = sweep.TableRow
 	// SweepBudgetPoint is one point of a budget-ablation curve.
 	SweepBudgetPoint = sweep.BudgetPoint
+	// SweepAnalysisRow is one application's analysis-derived sweep
+	// columns (power-feasible fraction, worst SNR under variation,
+	// simulated saturation point, peak WDM channel demand).
+	SweepAnalysisRow = sweep.AnalysisRow
+	// SweepParetoEntry is one annotated Pareto point: the non-dominated
+	// mapping plus the producing cell and its analysis report.
+	SweepParetoEntry = sweep.ParetoEntry
+	// Scenario is a fully declarative scenario: app, architecture
+	// (optionally degraded via failed_links), objective, algorithm,
+	// budget, seeding, and an optional post-optimization analyses block.
+	// It is the exact shape the optimization service accepts.
+	Scenario = scenario.Spec
+	// CompiledScenario is a runnable scenario: the normalized spec plus
+	// the runtime objects (graph, network, problem) it compiles to.
+	CompiledScenario = scenario.Compiled
+	// AnalysesSpec selects and configures the post-optimization analyses.
+	AnalysesSpec = scenario.AnalysesSpec
+	// WDMSpec, PowerSpec, RobustnessSpec, LinkFailuresSpec and SimSpec
+	// configure the individual analyses of an AnalysesSpec.
+	WDMSpec          = scenario.WDMSpec
+	PowerSpec        = scenario.PowerSpec
+	RobustnessSpec   = scenario.RobustnessSpec
+	LinkFailuresSpec = scenario.LinkFailuresSpec
+	SimSpec          = scenario.SimSpec
+	// Report is the typed outcome of the analysis pipeline.
+	Report = scenario.Report
+	// ScenarioResult is one executed scenario: the optimization run plus
+	// its analysis report.
+	ScenarioResult = scenario.Result
 )
 
 // Objective values.
@@ -289,30 +319,42 @@ func SweepParetoFronts(results []SweepCellResult) map[string][]ParetoPoint {
 	return sweep.ParetoFronts(results)
 }
 
-// RunExperiment executes a declarative experiment description end to end.
+// CompileScenario normalizes a declarative scenario — resolving the same
+// defaults the CLI and the optimization service resolve — and builds the
+// runnable problem it describes. This is the single spec-to-problem path
+// every front end shares.
+func CompileScenario(spec Scenario) (*CompiledScenario, error) {
+	return scenario.Compile(spec)
+}
+
+// RunScenario compiles and executes a scenario end to end: optimize
+// (single seed or islands when spec.Seeds > 1), then run the requested
+// analyses on the winning mapping. Equal specs produce bit-identical
+// results through RunScenario, the CLI 'map' command, a 1-cell sweep and
+// the service's /v1/jobs endpoint.
+func RunScenario(ctx context.Context, spec Scenario) (ScenarioResult, error) {
+	return scenario.Run(ctx, spec)
+}
+
+// RunExperiment executes a declarative experiment description end to end
+// through the scenario compiler.
 func RunExperiment(exp Experiment) (RunResult, error) {
-	exp.Normalize()
-	app, err := exp.App.Build()
+	res, err := scenario.Run(context.Background(), Scenario{
+		App:       exp.App,
+		Arch:      exp.Arch,
+		Objective: exp.Objective,
+		Algorithm: exp.Algorithm,
+		Budget:    exp.Budget,
+		Seed:      exp.Seed,
+	})
 	if err != nil {
 		return RunResult{}, err
 	}
-	nw, err := exp.Arch.Build()
-	if err != nil {
-		return RunResult{}, err
-	}
-	obj, err := core.ParseObjective(exp.Objective)
-	if err != nil {
-		return RunResult{}, err
-	}
-	prob, err := core.NewProblem(app, nw, obj)
-	if err != nil {
-		return RunResult{}, err
-	}
-	return Optimize(prob, exp.Algorithm, exp.Budget, exp.Seed)
+	return res.Run, nil
 }
 
 // Routers lists the built-in optical router architectures.
-func Routers() []string { return []string{"crux", "cygnus", "crossbar"} }
+func Routers() []string { return router.Names() }
 
 // RouterSummary describes a built-in router, e.g.
 // "crux: 12 rings, 4 crossings, 16 turns".
@@ -325,7 +367,7 @@ func RouterSummary(name string) (string, error) {
 }
 
 // Topologies lists the built-in topology kinds.
-func Topologies() []string { return []string{"mesh", "torus", "ring"} }
+func Topologies() []string { return topo.Kinds() }
 
 // NewCustomMesh builds a mesh with explicit die size, router and routing
 // choices — a convenience wrapper over ArchSpec for the common case.
