@@ -1,0 +1,352 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phonocmap/internal/config"
+	"phonocmap/internal/core"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/service"
+	"phonocmap/internal/sweep"
+)
+
+func testSpec(budget int, seed int64) scenario.Spec {
+	return scenario.Spec{
+		App:       config.AppSpec{Builtin: "PIP"},
+		Algorithm: "rs",
+		Budget:    budget,
+		Seed:      seed,
+	}
+}
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "ftp://host", "http://"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://localhost:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseURL() != "http://localhost:8080" {
+		t.Errorf("base URL %q not normalized", c.BaseURL())
+	}
+}
+
+// TestServerDown: with nothing listening, every call fails with a
+// transport error (after bounded retries) instead of hanging.
+func TestServerDown(t *testing.T) {
+	// Grab a port that is guaranteed dead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c, err := New("http://"+addr, WithRetries(1, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.RunScenario(ctx, testSpec(100, 1)); err == nil {
+		t.Error("RunScenario against a dead server succeeded")
+	}
+	if _, err := c.Apps(ctx); err == nil {
+		t.Error("Apps against a dead server succeeded")
+	}
+	var apiErr *APIError
+	if _, err := c.Apps(ctx); errors.As(err, &apiErr) {
+		t.Errorf("transport failure surfaced as an APIError: %v", err)
+	}
+}
+
+// TestMidPollCancellation: cancelling the caller's context mid-wait
+// cancels the job on the server (no orphaned run keeps burning a
+// worker) and salvages the best-so-far partial result, matching the
+// local backend's cancellation semantics.
+func TestMidPollCancellation(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1, MaxBudget: 100_000_000})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	})
+	c, err := New(ts.URL, WithPollInterval(5*time.Millisecond), WithoutEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	spec := testSpec(50_000_000, 1) // far too long to finish
+	spec.App.Builtin = "VOPD"
+	res, err := c.RunScenario(ctx, spec)
+	if err != nil {
+		t.Fatalf("cancelled run returned %v, want the salvaged partial result", err)
+	}
+	if !res.Cancelled {
+		t.Errorf("salvaged result not marked cancelled: %+v", res)
+	}
+	if res.Evals == 0 || len(res.Mapping) == 0 {
+		t.Errorf("salvaged result carries no best-so-far point: %+v", res)
+	}
+	if res.Report != nil {
+		t.Error("cancelled run carries an analysis report")
+	}
+
+	// The client's DELETE must have reached the server: its only job
+	// settles as cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs []service.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&jobs)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) != 1 {
+			t.Fatalf("server knows %d jobs, want 1", len(jobs))
+		}
+		if jobs[0].State == service.StateCancelled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never cancelled server-side (state %s)", jobs[0].State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueueFullRetry: 429 queue_full rejections are retried with
+// backoff until the submission lands.
+func TestQueueFullRetry(t *testing.T) {
+	spec := testSpec(100, 1)
+	norm := spec
+	if _, err := norm.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	status := service.JobStatus{
+		ID: "job-000001", State: service.StateDone, Cached: true,
+		Spec: norm, Evals: 100, IslandEvals: []int{100},
+	}
+	result := service.JobResult{
+		ID: "job-000001", State: service.StateDone, Cached: true,
+		Algorithm: "rs", Objective: "snr",
+		Mapping: core.Mapping{0, 1, 2, 3, 4, 5, 6, 7},
+		Score:   core.Score{Cost: -20, WorstSNRDB: 20}, Evals: 100, Seed: 1,
+	}
+	var submits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(service.ErrorEnvelope{Error: service.ErrorDetail{
+				Code: service.CodeQueueFull, Message: "job queue full (1 pending); retry later",
+			}})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("GET /v1/jobs/job-000001/result", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(result)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c, err := New(ts.URL, WithRetries(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("queue-full retry failed: %v", err)
+	}
+	if got := submits.Load(); got != 3 {
+		t.Errorf("submitted %d times, want 3 (two 429s, then accepted)", got)
+	}
+	if res.Score != result.Score || res.Evals != 100 {
+		t.Errorf("unexpected result %+v", res)
+	}
+
+	// With retries exhausted, the queue_full envelope surfaces typed.
+	submits.Store(-100) // next submissions all 429
+	c2, err := New(ts.URL, WithRetries(1, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2.RunScenario(context.Background(), spec)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("exhausted retries returned %v, want *APIError", err)
+	}
+	if apiErr.Code != service.CodeQueueFull || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("got %+v, want queue_full/429", apiErr)
+	}
+}
+
+// TestMalformedEnvelopeFallback: a non-envelope error body (a proxy, a
+// crash page) still produces a usable *APIError carrying the raw text,
+// and is not retried.
+func TestMalformedEnvelopeFallback(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("upstream exploded"))
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, WithRetries(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.RunScenario(context.Background(), testSpec(100, 1))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %v, want *APIError", err)
+	}
+	if apiErr.Code != "" {
+		t.Errorf("malformed envelope produced code %q, want empty", apiErr.Code)
+	}
+	if apiErr.StatusCode != http.StatusInternalServerError || !strings.Contains(apiErr.Message, "upstream exploded") {
+		t.Errorf("fallback error %+v does not carry the raw body", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "upstream exploded") {
+		t.Errorf("Error() %q hides the body", apiErr.Error())
+	}
+	if hits.Load() != 1 {
+		t.Errorf("500 was tried %d times, want 1 (no blind retry of submissions)", hits.Load())
+	}
+}
+
+// TestInvalidSpecIsTyped: a validation rejection surfaces as a typed
+// invalid_spec APIError without retries.
+func TestInvalidSpecIsTyped(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	spec := testSpec(100, 1)
+	spec.App.Builtin = "NOPE"
+	_, err := c.RunScenario(context.Background(), spec)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("got %v, want *APIError", err)
+	}
+	if apiErr.Code != service.CodeInvalidSpec {
+		t.Errorf("code %q, want invalid_spec", apiErr.Code)
+	}
+}
+
+// TestUserAgent: every request identifies the SDK and its build
+// version.
+func TestUserAgent(t *testing.T) {
+	var ua atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ua.Store(r.UserAgent())
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("[]"))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apps(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ua.Load().(string)
+	if !strings.HasPrefix(got, "phonocmap-client/") || strings.TrimPrefix(got, "phonocmap-client/") == "" {
+		t.Errorf("User-Agent %q, want phonocmap-client/<version>", got)
+	}
+}
+
+// TestSSEWatchIsUsed: with events enabled (the default), a job wait
+// consumes the SSE stream instead of polling the status endpoint.
+func TestSSEWatchIsUsed(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1, MaxBudget: 10_000_000})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	})
+
+	var events, polls atomic.Int32
+	hc := &http.Client{Transport: countingTransport{events: &events, polls: &polls}}
+	c, err := New(ts.URL, WithHTTPClient(hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(100_000, 12)
+	spec.App.Builtin = "VOPD"
+	res, err := c.RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals == 0 {
+		t.Error("degenerate result")
+	}
+	if events.Load() == 0 {
+		t.Error("SSE events endpoint never used")
+	}
+	if polls.Load() != 0 {
+		t.Errorf("status polled %d times despite a live event stream", polls.Load())
+	}
+}
+
+type countingTransport struct {
+	events, polls *atomic.Int32
+}
+
+func (t countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(r.URL.Path, "/events") {
+		t.events.Add(1)
+	} else if strings.HasPrefix(r.URL.Path, "/v1/jobs/") &&
+		!strings.HasSuffix(r.URL.Path, "/result") && r.Method == http.MethodGet {
+		t.polls.Add(1)
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestRunnerInterfaceCompliance: the client satisfies the Runner
+// interface at compile time and behaves when asked for a sweep that
+// fails validation.
+func TestRunnerInterfaceCompliance(t *testing.T) {
+	var _ runner.Runner = (*Client)(nil)
+	c, _ := newTestBackend(t, service.Config{MaxSweepCells: 4})
+	tooBig := sweep.Spec{
+		Apps:    []config.AppSpec{{Builtin: "PIP"}},
+		Seeds:   []int64{1, 2, 3, 4, 5},
+		Budgets: []int{50},
+	}
+	_, err := c.RunSweep(context.Background(), tooBig, runner.SweepOptions{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != service.CodeInvalidSpec {
+		t.Fatalf("oversized sweep returned %v, want invalid_spec APIError", err)
+	}
+}

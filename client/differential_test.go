@@ -1,0 +1,233 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"phonocmap/internal/config"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/service"
+	"phonocmap/internal/sweep"
+)
+
+// newTestBackend starts a real service behind httptest and a client
+// pointed at it.
+func newTestBackend(t *testing.T, cfg service.Config) (*Client, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	c, err := New(ts.URL, WithPollInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+// jsonDiff compares two values through their canonical JSON — the exact
+// equivalence the wire can express. It fails the test with both
+// encodings on mismatch.
+func jsonDiff(t *testing.T, label string, got, want any) {
+	t.Helper()
+	gb, err := json.MarshalIndent(got, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.MarshalIndent(want, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("%s: remote and local results differ\nremote:\n%s\nlocal:\n%s", label, gb, wb)
+	}
+}
+
+// TestDifferentialScenarios is the service-equivalence guarantee as an
+// API contract: for a grid of scenario specs spanning objectives,
+// algorithms, topologies, islands mode and the full analysis pipeline,
+// the remote backend (client -> phonocmap-serve) returns results
+// byte-identical to the local backend — mapping, score, evaluation
+// counts, per-island breakdowns, normalized specs and analysis reports.
+// Only wall-clock duration is exempt.
+func TestDifferentialScenarios(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	local := runner.NewLocal()
+	ctx := context.Background()
+
+	specs := []struct {
+		name string
+		spec scenario.Spec
+	}{
+		{"pip-mesh-snr-rs", scenario.Spec{
+			App: config.AppSpec{Builtin: "PIP"}, Objective: "snr",
+			Algorithm: "rs", Budget: 300, Seed: 1,
+		}},
+		{"pip-torus-loss-rpbla", scenario.Spec{
+			App:  config.AppSpec{Builtin: "PIP"},
+			Arch: config.ArchSpec{Topology: "torus"}, Objective: "loss",
+			Algorithm: "rpbla", Budget: 300, Seed: 2,
+		}},
+		{"pip-wloss-ga", scenario.Spec{
+			App: config.AppSpec{Builtin: "PIP"}, Objective: "wloss",
+			Algorithm: "ga", Budget: 300, Seed: 5,
+		}},
+		{"mwd-islands", scenario.Spec{
+			App: config.AppSpec{Builtin: "MWD"}, Objective: "snr",
+			Algorithm: "rs", Budget: 200, Seed: 3, Seeds: 2,
+		}},
+		{"pip-full-analyses", scenario.Spec{
+			App:       config.AppSpec{Builtin: "PIP"},
+			Arch:      config.ArchSpec{Router: "cygnus", Routing: "bfs"},
+			Objective: "snr", Algorithm: "rs", Budget: 200, Seed: 4,
+			Analyses: &scenario.AnalysesSpec{
+				WDM:          &scenario.WDMSpec{},
+				Power:        &scenario.PowerSpec{},
+				Robustness:   &scenario.RobustnessSpec{Samples: 8},
+				LinkFailures: &scenario.LinkFailuresSpec{},
+				Sim:          &scenario.SimSpec{DurationNs: 50_000, LoadScales: []float64{0.5, 1}},
+			},
+		}},
+		{"pip-degraded-link", scenario.Spec{
+			App: config.AppSpec{Builtin: "PIP"},
+			Arch: config.ArchSpec{
+				Router: "cygnus", Routing: "bfs", FailedLinks: [][2]int{{1, 2}},
+			},
+			Objective: "snr", Algorithm: "rs", Budget: 200, Seed: 6,
+		}},
+	}
+
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			remote, err := c.RunScenario(ctx, tc.spec)
+			if err != nil {
+				t.Fatalf("remote: %v", err)
+			}
+			localRes, err := local.RunScenario(ctx, tc.spec)
+			if err != nil {
+				t.Fatalf("local: %v", err)
+			}
+			if remote.Evals == 0 || len(remote.Mapping) == 0 {
+				t.Fatalf("degenerate remote result: %+v", remote)
+			}
+			// Wall-clock duration is the one execution-local field.
+			remote.DurationMs, localRes.DurationMs = 0, 0
+			jsonDiff(t, tc.name, remote, localRes)
+		})
+	}
+}
+
+// TestDifferentialSweep extends the equivalence to a full design-space
+// sweep: per-cell outcomes (mappings, scores, evals, reports) and every
+// aggregation — Table II rows, budget curves, annotated Pareto fronts,
+// analysis summary columns — are byte-identical between a server-side
+// sweep consumed through the client and a local sweep run.
+func TestDifferentialSweep(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	local := runner.NewLocal()
+	ctx := context.Background()
+
+	grid := sweep.Spec{
+		Apps:       []config.AppSpec{{Builtin: "PIP"}},
+		Archs:      []config.ArchSpec{{Topology: "mesh"}, {Topology: "torus"}},
+		Objectives: []string{"snr", "loss"},
+		Algorithms: []string{"rs", "rpbla"},
+		Budgets:    []int{150},
+		Seeds:      []int64{1},
+		Analyses: &scenario.AnalysesSpec{
+			WDM:   &scenario.WDMSpec{},
+			Power: &scenario.PowerSpec{},
+		},
+	}
+
+	remote, err := c.RunSweep(ctx, grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatalf("remote sweep: %v", err)
+	}
+	localRes, err := local.RunSweep(ctx, grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+	if len(remote.Cells) != 8 {
+		t.Fatalf("remote sweep has %d cells, want 8", len(remote.Cells))
+	}
+	for _, cell := range remote.Cells {
+		if cell.Error != "" {
+			t.Fatalf("remote cell %d failed: %s", cell.Index, cell.Error)
+		}
+		if cell.Report == nil {
+			t.Fatalf("remote cell %d missing its analysis report", cell.Index)
+		}
+	}
+	jsonDiff(t, "sweep", remote, localRes)
+}
+
+// TestDifferentialDiscovery: both backends answer discovery calls with
+// identical payloads.
+func TestDifferentialDiscovery(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	local := runner.NewLocal()
+	ctx := context.Background()
+
+	rApps, err := c.Apps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lApps, _ := local.Apps(ctx)
+	jsonDiff(t, "apps", rApps, lApps)
+
+	rAlgos, err := c.Algorithms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lAlgos, _ := local.Algorithms(ctx)
+	jsonDiff(t, "algorithms", rAlgos, lAlgos)
+
+	rRouters, err := c.Routers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lRouters, _ := local.Routers(ctx)
+	jsonDiff(t, "routers", rRouters, lRouters)
+
+	rTopos, err := c.Topologies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lTopos, _ := local.Topologies(ctx)
+	jsonDiff(t, "topologies", rTopos, lTopos)
+}
+
+// TestDifferentialCacheHit: a cache replay on the server is
+// indistinguishable from the first computation through the Runner
+// interface (duration aside).
+func TestDifferentialCacheHit(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	ctx := context.Background()
+	spec := scenario.Spec{
+		App: config.AppSpec{Builtin: "PIP"}, Algorithm: "rs", Budget: 250, Seed: 9,
+		Analyses: &scenario.AnalysesSpec{WDM: &scenario.WDMSpec{}},
+	}
+	first, err := c.RunScenario(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.RunScenario(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.DurationMs, second.DurationMs = 0, 0
+	jsonDiff(t, "cache replay", second, first)
+}

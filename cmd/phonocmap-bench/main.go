@@ -5,7 +5,7 @@
 // Usage:
 //
 //	phonocmap-bench fig3   [-samples 100000] [-seed 1] [-apps PIP,VOPD] [-csv dir] [-workers N]
-//	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla] [-workers N]
+//	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla] [-workers N] [-server URL]
 //	phonocmap-bench ablation [-app VOPD] [-seed 1]
 //
 // Defaults reproduce the paper's setup; reduced samples/budgets give
@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"phonocmap/client"
 	"phonocmap/internal/experiments"
+	"phonocmap/internal/runner"
 	"phonocmap/internal/stats"
 )
 
@@ -174,7 +177,8 @@ func cmdTable2(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	apps := fs.String("apps", "", "comma-separated app subset (default: all eight)")
 	algos := fs.String("algos", "", "comma-separated algorithms (default: rs,ga,rpbla)")
-	workers := fs.Int("workers", 0, "grid cells executed concurrently (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "grid cells executed concurrently (0 = GOMAXPROCS; local execution only)")
+	server := fs.String("server", "", "phonocmap-serve URL to execute the grid on (default: in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -197,9 +201,33 @@ func cmdTable2(args []string) error {
 	}
 	fmt.Println(header)
 	fmt.Println(strings.Repeat("-", len(header)))
-	rows, err := experiments.Table2(opts)
-	if err != nil {
-		return err
+	var rows []experiments.Row
+	if *server != "" {
+		// The Table II protocol is a sweep grid; remote execution submits
+		// the same grid to a phonocmap-serve instance and reads the rows
+		// from its aggregation — identical to the local path for equal
+		// grids (the equivalence pinned by internal/service and the
+		// client's differential suite).
+		c, err := client.New(*server)
+		if err != nil {
+			return err
+		}
+		res, err := c.RunSweep(context.Background(), experiments.Table2Grid(opts), runner.SweepOptions{})
+		if err != nil {
+			return err
+		}
+		for _, cell := range res.Cells {
+			if cell.Error != "" {
+				return fmt.Errorf("cell %s: %s", cell.Cell.Label(), cell.Error)
+			}
+		}
+		rows = res.Table
+	} else {
+		var err error
+		rows, err = experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
 	}
 	for _, row := range rows {
 		line := fmt.Sprintf("%-15s |", row.App)

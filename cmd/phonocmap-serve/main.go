@@ -20,16 +20,20 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"phonocmap/internal/service"
+	"phonocmap/internal/version"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "job queue capacity")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
@@ -38,6 +42,10 @@ func main() {
 	maxSweepCells := flag.Int("max-sweep-cells", 1024, "largest accepted sweep grid size (cells)")
 	maxSweeps := flag.Int("max-sweeps", 128, "sweep registry bound (oldest finished evicted)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("phonocmap-serve %s (%s)\n", version.String(), runtime.Version())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,8 +61,8 @@ func main() {
 		MaxSweeps:     *maxSweeps,
 	})
 	cfg := srv.Config()
-	log.Printf("phonocmap-serve listening on %s (%d workers, queue %d, cache %d)",
-		cfg.Addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+	log.Printf("phonocmap-serve %s listening on %s (%d workers, queue %d, cache %d)",
+		version.String(), cfg.Addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		log.Fatalf("phonocmap-serve: %v", err)
 	}

@@ -122,10 +122,11 @@ func loadAppSpec(name, file string) (config.AppSpec, error) {
 
 // parseMapCommand parses the 'map' subcommand's arguments into a
 // normalized scenario spec (with the built application graph, so callers
-// need not rebuild it) plus the -out path. The spec is exactly what the
+// need not rebuild it) plus the -out path and the -server address
+// (empty = in-process execution). The spec is exactly what the
 // optimization service normalizes, so the two fronts accept the same
 // inputs and produce the same computations.
-func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
+func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, error) {
 	fs := flag.NewFlagSet("map", flag.ContinueOnError)
 	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
 	appFile := fs.String("app-file", "", "custom application JSON file")
@@ -137,12 +138,13 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
 	seeds := fs.Int("seeds", 1, "island count: > 1 runs that many seeded searches and keeps the best")
 	analysesFile := fs.String("analyses", "", "post-optimization analyses JSON file (wdm, power, robustness, link_failures, sim)")
 	out := fs.String("out", "", "write the result as JSON to this file")
+	server := fs.String("server", "", "phonocmap-serve URL to execute on (default: in-process)")
 	arch := addArchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return scenario.Spec{}, nil, "", err
+			return scenario.Spec{}, nil, "", "", err
 		}
-		return scenario.Spec{}, nil, "", fmt.Errorf("%w: %v", errFlagParse, err)
+		return scenario.Spec{}, nil, "", "", fmt.Errorf("%w: %v", errFlagParse, err)
 	}
 
 	var spec scenario.Spec
@@ -150,16 +152,16 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
 		var err error
 		spec, err = config.LoadFile[scenario.Spec](*expFile)
 		if err != nil {
-			return scenario.Spec{}, nil, "", err
+			return scenario.Spec{}, nil, "", "", err
 		}
 	} else {
 		appSpec, err := loadAppSpec(*app, *appFile)
 		if err != nil {
-			return scenario.Spec{}, nil, "", err
+			return scenario.Spec{}, nil, "", "", err
 		}
 		archSpec, err := arch.spec()
 		if err != nil {
-			return scenario.Spec{}, nil, "", err
+			return scenario.Spec{}, nil, "", "", err
 		}
 		spec = scenario.Spec{
 			App:       appSpec,
@@ -173,7 +175,7 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
 		if *analysesFile != "" {
 			analyses, err := config.LoadFile[scenario.AnalysesSpec](*analysesFile)
 			if err != nil {
-				return scenario.Spec{}, nil, "", err
+				return scenario.Spec{}, nil, "", "", err
 			}
 			spec.Analyses = &analyses
 		}
@@ -183,9 +185,9 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, error) {
 	// CLI accepts exactly what the service accepts.
 	g, err := spec.Normalize()
 	if err != nil {
-		return scenario.Spec{}, nil, "", err
+		return scenario.Spec{}, nil, "", "", err
 	}
-	return spec, g, *out, nil
+	return spec, g, *out, *server, nil
 }
 
 // parseMapping parses a comma-separated tile-per-task list, e.g.

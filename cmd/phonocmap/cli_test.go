@@ -14,7 +14,7 @@ import (
 )
 
 func TestParseMapCommandHelp(t *testing.T) {
-	_, _, _, err := parseMapCommand([]string{"-h"})
+	_, _, _, _, err := parseMapCommand([]string{"-h"})
 	if !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
 	}
@@ -41,7 +41,7 @@ func TestParseMapping(t *testing.T) {
 }
 
 func TestParseMapCommandDefaults(t *testing.T) {
-	exp, _, out, err := parseMapCommand([]string{"-app", "VOPD"})
+	exp, _, out, _, err := parseMapCommand([]string{"-app", "VOPD"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestParseMapCommandDefaults(t *testing.T) {
 }
 
 func TestParseMapCommandFlags(t *testing.T) {
-	exp, _, out, err := parseMapCommand([]string{
+	exp, _, out, _, err := parseMapCommand([]string{
 		"-app", "PIP", "-topology", "torus", "-width", "5", "-height", "3",
 		"-objective", "loss", "-algorithm", "ga", "-budget", "777", "-seed", "9",
 		"-out", "res.json",
@@ -94,7 +94,7 @@ func TestParseMapCommandExperimentFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	exp, _, _, err := parseMapCommand([]string{"-experiment", path})
+	exp, _, _, _, err := parseMapCommand([]string{"-experiment", path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestParseMapCommandExperimentFileWithoutArch(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"app": {"builtin": "VOPD"}, "objective": "snr"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	exp, _, _, err := parseMapCommand([]string{"-experiment", path})
+	exp, _, _, _, err := parseMapCommand([]string{"-experiment", path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +134,11 @@ func TestParseMapCommandErrors(t *testing.T) {
 		{"-experiment", "/nonexistent/exp.json"},
 	}
 	for _, args := range cases {
-		if _, _, _, err := parseMapCommand(args); err == nil {
+		if _, _, _, _, err := parseMapCommand(args); err == nil {
 			t.Errorf("parseMapCommand(%v) accepted", args)
 		}
 	}
-	if _, _, _, err := parseMapCommand([]string{"-bogus-flag"}); !errors.Is(err, errFlagParse) {
+	if _, _, _, _, err := parseMapCommand([]string{"-bogus-flag"}); !errors.Is(err, errFlagParse) {
 		t.Errorf("bad flag returned %v, want errFlagParse sentinel", err)
 	}
 }
@@ -163,7 +163,7 @@ func TestLoadApp(t *testing.T) {
 }
 
 func TestArchFlagsSpecRespectsExplicitSize(t *testing.T) {
-	exp, _, _, err := parseMapCommand([]string{"-app", "DVOPD", "-width", "8"})
+	exp, _, _, _, err := parseMapCommand([]string{"-app", "DVOPD", "-width", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestParseMapCommandFailedLinksAndAnalyses(t *testing.T) {
 	if err := os.WriteFile(analysesPath, []byte(`{"power": {}, "robustness": {"samples": 6}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	spec, _, _, err := parseMapCommand([]string{
+	spec, _, _, _, err := parseMapCommand([]string{
 		"-app", "PIP", "-router", "cygnus", "-routing", "bfs",
 		"-failed-links", "1-2", "-analyses", analysesPath, "-seeds", "2",
 	})
@@ -219,30 +219,35 @@ func TestParseMapCommandFailedLinksAndAnalyses(t *testing.T) {
 
 	// failed_links without BFS routing is rejected at parse/normalize
 	// time, like the service rejects it at submission.
-	if _, _, _, err := parseMapCommand([]string{"-app", "PIP", "-failed-links", "1-2"}); err == nil {
+	if _, _, _, _, err := parseMapCommand([]string{"-app", "PIP", "-failed-links", "1-2"}); err == nil {
 		t.Error("failed links with default xy routing accepted")
 	}
 }
 
 // TestCmdMapMatchesScenarioPipeline pins the CLI execution path to the
-// shared pipeline: what cmdMap computes for a degraded spec is exactly
-// scenario.Run of the parsed spec — the same computation the service
-// and a 1-cell sweep perform for this spec (their equivalence is pinned
-// in internal/service).
+// shared pipeline: what cmdMap computes for a degraded spec — via the
+// Runner backend newRunner selects — is exactly scenario.Run of the
+// parsed spec, the same computation the service and a 1-cell sweep
+// perform for this spec (their equivalence is pinned in
+// internal/service, and local/remote Runner equivalence in package
+// client).
 func TestCmdMapMatchesScenarioPipeline(t *testing.T) {
 	args := []string{
 		"-app", "PIP", "-router", "cygnus", "-routing", "bfs",
 		"-failed-links", "1-2", "-algorithm", "rs", "-budget", "250", "-seed", "11",
 	}
-	spec, _, _, err := parseMapCommand(args)
+	spec, _, _, server, err := parseMapCommand(args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := scenario.Compile(spec)
+	if server != "" {
+		t.Fatalf("no -server flag given, parsed %q", server)
+	}
+	rn, err := newRunner(server)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, rep, err := runCompiled(comp)
+	res, err := rn.RunScenario(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +258,7 @@ func TestCmdMapMatchesScenarioPipeline(t *testing.T) {
 	if !res.Mapping.Equal(want.Run.Mapping) || res.Score != want.Run.Score || res.Evals != want.Run.Evals {
 		t.Errorf("CLI path diverges from pipeline:\n cli %+v\n lib %+v", res, want.Run)
 	}
-	if !reflect.DeepEqual(rep, want.Report) {
+	if !reflect.DeepEqual(res.Report, want.Report) {
 		t.Errorf("CLI report diverges from pipeline")
 	}
 }

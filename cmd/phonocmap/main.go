@@ -20,14 +20,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"phonocmap"
+	"phonocmap/client"
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
 	"phonocmap/internal/router"
+	"phonocmap/internal/runner"
 	"phonocmap/internal/scenario"
 	"phonocmap/internal/topo"
+	"phonocmap/internal/version"
 	"phonocmap/internal/viz"
 )
 
@@ -50,6 +55,8 @@ func main() {
 		err = cmdRouters()
 	case "dot":
 		err = cmdDot(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Printf("phonocmap %s (%s)\n", version.String(), runtime.Version())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,27 +84,27 @@ Commands:
   apps      list the bundled benchmark applications
   routers   list the built-in optical router architectures
   dot       print an application graph in Graphviz format
+  version   print the build version
+
+Most 'map' and 'simulate' work can run remotely: pass -server URL to
+execute on a phonocmap-serve instance instead of in-process.
 
 Run 'phonocmap <command> -h' for command flags.`)
 }
 
-// runCompiled optimizes a compiled scenario and runs its analyses — the
-// shared execution step behind cmdMap, exposed for the CLI tests to
-// prove bit-identity with the service and sweep paths.
-func runCompiled(comp *scenario.Compiled) (core.RunResult, *scenario.Report, error) {
-	res, err := comp.Optimize(context.Background())
-	if err != nil {
-		return core.RunResult{}, nil, err
+// newRunner picks the execution backend: in-process when server is
+// empty, the typed phonocmap-serve client otherwise. Both implement the
+// same Runner interface and return identical results for equal specs,
+// so every command downstream of this switch is backend-agnostic.
+func newRunner(server string) (runner.Runner, error) {
+	if server == "" {
+		return runner.NewLocal(), nil
 	}
-	rep, err := comp.Analyze(res.Mapping, res.Score)
-	if err != nil {
-		return core.RunResult{}, nil, err
-	}
-	return res, rep, nil
+	return client.New(server)
 }
 
 func cmdMap(args []string) error {
-	spec, g, out, err := parseMapCommand(args)
+	spec, g, out, server, err := parseMapCommand(args)
 	if errors.Is(err, flag.ErrHelp) {
 		return nil // usage already printed by the flag package
 	}
@@ -105,22 +112,33 @@ func cmdMap(args []string) error {
 		return err
 	}
 
-	comp, err := scenario.Compile(spec)
+	rn, err := newRunner(server)
 	if err != nil {
 		return err
 	}
-	res, rep, err := runCompiled(comp)
+	res, err := rn.RunScenario(context.Background(), spec)
 	if err != nil {
 		return err
 	}
-	nw := comp.Network
+	rep := res.Report
+	// The physical summaries below render against the local architecture
+	// model — the spec is normalized, so this is the same network the
+	// executing backend built.
+	nw, err := spec.Arch.Build()
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("application : %s\n", g)
 	fmt.Printf("architecture: %s\n", nw)
+	if server != "" {
+		fmt.Printf("backend     : phonocmap-serve @ %s\n", server)
+	}
 	fmt.Printf("objective   : %s   algorithm: %s   budget: %d evals   seed: %d\n",
 		spec.Objective, spec.Algorithm, spec.Budget, spec.Seed)
 	fmt.Printf("result      : worst-case loss %.3f dB, worst-case SNR %.3f dB (%d evals, %v)\n",
-		res.Score.WorstLossDB, res.Score.WorstSNRDB, res.Evals, res.Duration.Round(1000000))
+		res.Score.WorstLossDB, res.Score.WorstSNRDB, res.Evals,
+		(time.Duration(res.DurationMs * float64(time.Millisecond))).Round(time.Millisecond))
 	fmt.Println("mapping     :")
 	for task, tile := range res.Mapping {
 		fmt.Printf("  %-14s -> tile %d\n", g.TaskName(cg.TaskID(task)), tile)
@@ -250,6 +268,7 @@ func cmdSimulate(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	durationNs := fs.Float64("duration-ns", 200_000, "simulated time (ns)")
 	loadScale := fs.Float64("load", 1, "scale factor on CG bandwidths")
+	server := fs.String("server", "", "phonocmap-serve URL to optimize on (default: in-process); the simulation itself always runs locally")
 	arch := addArchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,19 +281,29 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	comp, err := scenario.Compile(scenario.Spec{
+	spec := scenario.Spec{
 		App:       appSpec,
 		Arch:      archSpec,
 		Objective: *objective,
 		Algorithm: *algorithm,
 		Budget:    *budget,
 		Seed:      *seed,
-	})
+	}
+	// Normalize up front: the simulator below needs the resolved
+	// architecture, and the backend normalizes to the same spec anyway.
+	g, err := spec.Normalize()
 	if err != nil {
 		return err
 	}
-	g, nw := comp.App, comp.Network
-	res, err := comp.Optimize(context.Background())
+	rn, err := newRunner(*server)
+	if err != nil {
+		return err
+	}
+	res, err := rn.RunScenario(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	nw, err := spec.Arch.Build()
 	if err != nil {
 		return err
 	}

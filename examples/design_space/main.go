@@ -10,10 +10,16 @@
 // Run with:
 //
 //	go run ./examples/design_space
+//	go run ./examples/design_space -server http://localhost:8080
+//
+// With -server, the declarative steps (the scenario and the
+// healthy-vs-degraded sweep) execute remotely on a phonocmap-serve
+// instance through the same Runner interface — identical results.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -21,6 +27,17 @@ import (
 )
 
 func main() {
+	server := flag.String("server", "", "phonocmap-serve URL for the declarative steps (default: in-process)")
+	flag.Parse()
+	rn := phonocmap.NewLocalRunner()
+	if *server != "" {
+		var err error
+		if rn, err = phonocmap.NewClient(*server); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("declarative steps execute on %s\n", *server)
+	}
+
 	app := phonocmap.MustApp("VOPD")
 	net, err := phonocmap.NewMeshNetwork(4, 4)
 	if err != nil {
@@ -58,13 +75,13 @@ func main() {
 			LinkFailures: &phonocmap.LinkFailuresSpec{},
 		},
 	}
-	res, err := phonocmap.RunScenario(context.Background(), cygnus)
+	res, err := rn.RunScenario(context.Background(), cygnus)
 	if err != nil {
 		log.Fatal(err)
 	}
 	rep := res.Report
 	fmt.Printf("\ncygnus design point: loss %.2f dB, SNR %.2f dB\n",
-		res.Run.Score.WorstLossDB, res.Run.Score.WorstSNRDB)
+		res.Score.WorstLossDB, res.Score.WorstSNRDB)
 	fmt.Printf("WDM: %d wavelength(s) remove %d conflicting pairs; worst SNR %.2f dB\n",
 		rep.WDM.Channels, rep.WDM.Conflicts, rep.WDM.WorstSNRDB)
 	fmt.Printf("parameter variation (40 samples, ±20%%): SNR %.2f±%.2f dB, worst draw %.2f dB\n",
@@ -78,25 +95,25 @@ func main() {
 	// other design axis.
 	degraded := phonocmap.ArchSpec{Router: "cygnus", Routing: "bfs",
 		FailedLinks: [][2]int{{int(rep.LinkFailures.WorstLink[0]), int(rep.LinkFailures.WorstLink[1])}}}
-	results, err := phonocmap.RunSweep(context.Background(), phonocmap.SweepSpec{
+	sweepRes, err := rn.RunSweep(context.Background(), phonocmap.SweepSpec{
 		Apps:       []phonocmap.AppSpec{{Builtin: "VOPD"}},
 		Archs:      []phonocmap.ArchSpec{{Router: "cygnus", Routing: "bfs"}, degraded},
 		Algorithms: []string{"rpbla"},
 		Budgets:    []int{5000},
-	}, 0)
+	}, phonocmap.SweepRunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nhealthy vs degraded (remapped around the cut):")
-	for _, r := range results {
-		if r.Err != nil {
-			log.Fatal(r.Err)
+	for _, r := range sweepRes.Cells {
+		if r.Error != "" {
+			log.Fatal(r.Error)
 		}
 		label := "healthy "
 		if len(r.Cell.Arch.FailedLinks) > 0 {
 			label = fmt.Sprintf("cut %v", r.Cell.Arch.FailedLinks[0])
 		}
 		fmt.Printf("  %s: loss %6.2f dB   SNR %6.2f dB\n",
-			label, r.Run.Score.WorstLossDB, r.Run.Score.WorstSNRDB)
+			label, r.Score.WorstLossDB, r.Score.WorstSNRDB)
 	}
 }

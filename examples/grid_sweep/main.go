@@ -1,20 +1,23 @@
 // Grid sweep: the paper's evaluation protocol as one declarative grid.
 // Two applications × mesh/torus × both objectives × two algorithms run
-// under an equal evaluation budget on the local worker pool, then the
-// sweep aggregators fold the cells into a Table II-style comparison, a
-// budget-ablation curve and per-application Pareto fronts.
+// under an equal evaluation budget, then the sweep aggregators fold the
+// cells into a Table II-style comparison, a budget-ablation curve and
+// per-application Pareto fronts.
 //
-// The identical grid can be submitted to a running phonocmap-serve via
-// POST /v1/sweeps — cells are content-addressed job specs, so results
-// computed on either front populate the same cache identity.
+// The grid executes through the Runner interface, so the backend is a
+// flag: in-process by default, or any phonocmap-serve instance with
+// -server — same cells, same content-addressed identities, identical
+// results.
 //
 // Run with:
 //
 //	go run ./examples/grid_sweep
+//	go run ./examples/grid_sweep -server http://localhost:8080
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,6 +25,9 @@ import (
 )
 
 func main() {
+	server := flag.String("server", "", "phonocmap-serve URL to execute the grid on (default: in-process)")
+	flag.Parse()
+
 	spec := phonocmap.SweepSpec{
 		Apps: []phonocmap.AppSpec{{Builtin: "PIP"}, {Builtin: "MWD"}},
 		Archs: []phonocmap.ArchSpec{
@@ -34,26 +40,35 @@ func main() {
 		Seeds:      []int64{1},
 	}
 
+	rn := phonocmap.NewLocalRunner()
+	if *server != "" {
+		var err error
+		if rn, err = phonocmap.NewClient(*server); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("executing on %s\n", *server)
+	}
+
 	cells, err := phonocmap.ExpandSweep(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("grid: %d cells (2 apps x 2 archs x 2 objectives x 2 algorithms x 2 budgets)\n\n", len(cells))
 
-	results, err := phonocmap.RunSweep(context.Background(), spec, 0)
+	res, err := rn.RunSweep(context.Background(), spec, phonocmap.SweepRunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
-		if r.Err != nil {
-			log.Fatalf("cell %s failed: %v", r.Cell.Label(), r.Err)
+	for _, c := range res.Cells {
+		if c.Error != "" {
+			log.Fatalf("cell %s failed: %s", c.Cell.Label(), c.Error)
 		}
 	}
 
 	// Table II-style comparison: each column reports the best score found
 	// across the grid's budget dimension.
 	fmt.Println("algorithm comparison (best SNR / best loss, dB):")
-	for _, row := range phonocmap.SweepTable(results) {
+	for _, row := range res.Table {
 		fmt.Printf("  %-6s", row.App)
 		for _, topo := range []string{"mesh", "torus"} {
 			cells := row.Mesh
@@ -69,7 +84,7 @@ func main() {
 	}
 
 	fmt.Println("\nbudget ablation (mesh, snr objective):")
-	for _, p := range phonocmap.SweepBudgetCurves(results) {
+	for _, p := range res.BudgetCurves {
 		if p.Topology != "mesh" || p.Objective != "snr" {
 			continue
 		}
@@ -78,10 +93,11 @@ func main() {
 	}
 
 	fmt.Println("\nPareto fronts over all cells:")
-	for app, front := range phonocmap.SweepParetoFronts(results) {
+	for app, front := range res.Pareto {
 		fmt.Printf("  %s: %d non-dominated mapping(s)\n", app, len(front))
 		for _, pt := range front {
-			fmt.Printf("    loss %6.2f dB   SNR %6.2f dB\n", pt.WorstLossDB, pt.WorstSNRDB)
+			fmt.Printf("    loss %6.2f dB   SNR %6.2f dB   (cell %d)\n",
+				pt.WorstLossDB, pt.WorstSNRDB, pt.CellIndex)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/search"
+	"phonocmap/internal/service"
+	"phonocmap/internal/sweep"
+	"phonocmap/internal/topo"
+)
+
+// Local executes scenarios and sweeps in-process through the scenario
+// compiler and the sweep engine — the same pipeline phonocmap-serve
+// workers run, with the same seed derivation and the same
+// skip-analyses-on-cancellation policy, so Local and the remote client
+// return identical results for equal specs. The zero value is ready to
+// use.
+type Local struct{}
+
+// NewLocal returns the in-process backend.
+func NewLocal() *Local { return &Local{} }
+
+var _ Runner = (*Local)(nil)
+
+// RunScenario compiles and executes the scenario on this machine. The
+// per-island evaluation breakdown is collected through the same
+// progress callbacks the service uses, so IslandEvals matches a remote
+// run entry for entry.
+func (l *Local) RunScenario(ctx context.Context, spec scenario.Spec) (ScenarioResult, error) {
+	comp, err := scenario.Compile(spec)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	islandEvals := make([]int, max(comp.Spec.Seeds, 1))
+	var mu sync.Mutex
+	start := time.Now()
+	run, err := comp.OptimizeObserved(ctx, scenario.Observers{
+		// The same per-island counters the service worker keeps, so
+		// IslandEvals matches a remote run entry for entry.
+		OnProgress: func(island, evals int, _ core.Score) {
+			mu.Lock()
+			if island >= 0 && island < len(islandEvals) {
+				islandEvals[island] = evals
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	out := ScenarioResult{
+		Spec:        comp.Spec,
+		Algorithm:   run.Algorithm,
+		Objective:   run.Objective.String(),
+		Mapping:     run.Mapping,
+		Score:       run.Score,
+		Evals:       run.Evals,
+		IslandEvals: islandEvals,
+		Seed:        run.Seed,
+		DurationMs:  float64(time.Since(start)) / float64(time.Millisecond),
+		Cancelled:   run.Cancelled,
+	}
+	if !run.Cancelled {
+		// Cancelled runs ship without a report, exactly like the
+		// service: analyses take no cancellation context, so running
+		// them would keep working long after the stop was requested.
+		rep, err := comp.Analyze(run.Mapping, run.Score)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		out.Report = rep
+	}
+	return out, nil
+}
+
+// runCell executes one sweep cell with the service worker's exact
+// policy: optimize under the sweep context, then analyses only for
+// uncancelled runs.
+func runCell(ctx context.Context, c sweep.Cell) (core.RunResult, *scenario.Report, error) {
+	comp, err := c.Compile()
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	run, err := comp.Optimize(ctx)
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	if run.Cancelled {
+		return run, nil, nil
+	}
+	rep, err := comp.Analyze(run.Mapping, run.Score)
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	return run, rep, nil
+}
+
+// RunSweep expands the grid and executes every cell on a bounded local
+// worker pool, then folds the successful cells through the sweep
+// engine's aggregators — the same aggregation path the service's sweep
+// result endpoint runs.
+func (l *Local) RunSweep(ctx context.Context, spec sweep.Spec, opts SweepOptions) (SweepResult, error) {
+	cells, err := sweep.Expand(spec)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	var onCell func(sweep.Result)
+	if opts.OnCellDone != nil {
+		onCell = func(r sweep.Result) { opts.OnCellDone(cellResult(r)) }
+	}
+	results, err := sweep.Run(cells, runCell, sweep.Options{
+		Workers:    opts.Workers,
+		Context:    ctx,
+		OnCellDone: onCell,
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+
+	out := SweepResult{Cells: make([]SweepCellResult, 0, len(results))}
+	agg := make([]sweep.Result, 0, len(results))
+	for _, r := range results {
+		out.Cells = append(out.Cells, cellResult(r))
+		if r.Err == nil && !r.Run.Cancelled {
+			agg = append(agg, r)
+		}
+	}
+	out.Table = sweep.Table(agg)
+	out.BudgetCurves = sweep.BudgetCurves(agg)
+	out.Pareto = sweep.AnnotatedParetoFronts(agg)
+	out.Analysis = sweep.AnalysisSummary(agg)
+	return out, nil
+}
+
+// cellResult converts an engine result into the interface shape.
+func cellResult(r sweep.Result) SweepCellResult {
+	cr := SweepCellResult{Index: r.Index, Cell: r.Cell}
+	if r.Err != nil {
+		cr.Error = r.Err.Error()
+		return cr
+	}
+	cr.Score = r.Run.Score
+	cr.Mapping = r.Run.Mapping
+	cr.Evals = r.Run.Evals
+	cr.Report = r.Report
+	return cr
+}
+
+// Apps lists the bundled benchmark applications.
+func (l *Local) Apps(context.Context) ([]AppInfo, error) { return service.Apps(), nil }
+
+// Algorithms lists the available mapping-optimization algorithms.
+func (l *Local) Algorithms(context.Context) ([]string, error) { return search.Names(), nil }
+
+// Routers lists the built-in optical routers.
+func (l *Local) Routers(context.Context) ([]RouterInfo, error) { return service.Routers(), nil }
+
+// Topologies lists the built-in topology kinds.
+func (l *Local) Topologies(context.Context) ([]string, error) { return topo.Kinds(), nil }

@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"phonocmap/internal/config"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/sweep"
+)
+
+// TestLocalMatchesScenarioRun: the Local backend is a repackaging of
+// the scenario pipeline — same mapping, score, evaluation count and
+// report as scenario.Run for an equal spec.
+func TestLocalMatchesScenarioRun(t *testing.T) {
+	spec := scenario.Spec{
+		App:       config.AppSpec{Builtin: "PIP"},
+		Objective: "snr",
+		Algorithm: "rs",
+		Budget:    300,
+		Seed:      7,
+		Analyses: &scenario.AnalysesSpec{
+			WDM:   &scenario.WDMSpec{},
+			Power: &scenario.PowerSpec{},
+		},
+	}
+	got, err := NewLocal().RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Mapping.Equal(want.Run.Mapping) || got.Score != want.Run.Score || got.Evals != want.Run.Evals {
+		t.Errorf("Local diverges from scenario.Run:\n got  %+v\n want %+v", got, want.Run)
+	}
+	if got.Seed != want.Run.Seed || got.Algorithm != want.Run.Algorithm {
+		t.Errorf("run identity diverges: %+v vs %+v", got, want.Run)
+	}
+	if !reflect.DeepEqual(got.Report, want.Report) {
+		t.Errorf("report diverges from scenario.Run")
+	}
+	if len(got.IslandEvals) != 1 || got.IslandEvals[0] != got.Evals {
+		t.Errorf("single-seed island breakdown %v, want [%d]", got.IslandEvals, got.Evals)
+	}
+	if got.Spec.Budget != 300 || got.Spec.Seeds != 1 || got.Spec.Arch.Width == 0 {
+		t.Errorf("returned spec not normalized: %+v", got.Spec)
+	}
+}
+
+// TestLocalIslands: islands mode reports one breakdown entry per seed
+// and the same winner as the scenario pipeline.
+func TestLocalIslands(t *testing.T) {
+	spec := scenario.Spec{
+		App:       config.AppSpec{Builtin: "PIP"},
+		Algorithm: "rs",
+		Budget:    200,
+		Seed:      3,
+		Seeds:     2,
+	}
+	got, err := NewLocal().RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Run.Score || got.Seed != want.Run.Seed {
+		t.Errorf("islands winner diverges: %+v vs %+v", got.Score, want.Run.Score)
+	}
+	if len(got.IslandEvals) != 2 {
+		t.Fatalf("island breakdown %v, want 2 entries", got.IslandEvals)
+	}
+	for i, e := range got.IslandEvals {
+		if e == 0 {
+			t.Errorf("island %d reports zero evaluations", i)
+		}
+	}
+}
+
+// TestLocalCancelledScenarioSkipsAnalyses: a cancelled run returns its
+// best-so-far point without a report — the service worker's policy.
+func TestLocalCancelledScenarioSkipsAnalyses(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := scenario.Spec{
+		App:       config.AppSpec{Builtin: "VOPD"},
+		Algorithm: "rs",
+		Budget:    50_000_000,
+		Analyses:  &scenario.AnalysesSpec{WDM: &scenario.WDMSpec{}},
+	}
+	done := make(chan struct{})
+	var got ScenarioResult
+	var err error
+	go func() {
+		defer close(done)
+		got, err = NewLocal().RunScenario(ctx, spec)
+	}()
+	cancel()
+	<-done
+	if err != nil {
+		// Cancelled before the first evaluation: also a valid outcome.
+		return
+	}
+	if !got.Cancelled {
+		t.Fatalf("uncancelled result from a cancelled context: %+v", got)
+	}
+	if got.Report != nil {
+		t.Error("cancelled run carries an analysis report")
+	}
+}
+
+// TestLocalSweepMatchesEngine: per-cell sweep outcomes equal the
+// scenario pipeline run cell by cell, and the aggregations cover the
+// grid.
+func TestLocalSweepMatchesEngine(t *testing.T) {
+	grid := sweep.Spec{
+		Apps:       []config.AppSpec{{Builtin: "PIP"}},
+		Objectives: []string{"snr", "loss"},
+		Algorithms: []string{"rs"},
+		Budgets:    []int{150},
+		Seeds:      []int64{1},
+	}
+	res, err := NewLocal().RunSweep(context.Background(), grid, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sweep.Expand(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(cells) {
+		t.Fatalf("%d cell results for %d cells", len(res.Cells), len(cells))
+	}
+	for i, cr := range res.Cells {
+		if cr.Error != "" {
+			t.Fatalf("cell %d failed: %s", i, cr.Error)
+		}
+		want, err := scenario.Run(context.Background(), cells[i].Scenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cr.Mapping.Equal(want.Run.Mapping) || cr.Score != want.Run.Score || cr.Evals != want.Run.Evals {
+			t.Errorf("cell %d diverges from the scenario pipeline", i)
+		}
+	}
+	if len(res.Table) != 1 || res.Table[0].App != "PIP" {
+		t.Errorf("table rows %+v", res.Table)
+	}
+	if len(res.BudgetCurves) != 2 {
+		t.Errorf("budget curve has %d points, want 2", len(res.BudgetCurves))
+	}
+	if len(res.Pareto["PIP"]) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+// TestLocalDiscovery: the discovery calls answer from the same tables
+// the service exposes.
+func TestLocalDiscovery(t *testing.T) {
+	l := NewLocal()
+	ctx := context.Background()
+	apps, err := l.Apps(ctx)
+	if err != nil || len(apps) == 0 {
+		t.Fatalf("Apps: %v, %d entries", err, len(apps))
+	}
+	algos, err := l.Algorithms(ctx)
+	if err != nil || len(algos) == 0 {
+		t.Fatalf("Algorithms: %v, %d entries", err, len(algos))
+	}
+	routers, err := l.Routers(ctx)
+	if err != nil || len(routers) == 0 {
+		t.Fatalf("Routers: %v, %d entries", err, len(routers))
+	}
+	topos, err := l.Topologies(ctx)
+	if err != nil || len(topos) == 0 {
+		t.Fatalf("Topologies: %v, %d entries", err, len(topos))
+	}
+}

@@ -10,6 +10,7 @@
 //	GET    /v1/jobs/{id}        job status             -> JobStatus
 //	GET    /v1/jobs/{id}/result finished result        -> JobResult
 //	GET    /v1/jobs/{id}/trace  convergence trace      -> JobTrace
+//	GET    /v1/jobs/{id}/events live progress (SSE)    -> "status" events, each a JobStatus
 //	DELETE /v1/jobs/{id}        cancel                 -> JobStatus
 //	POST   /v1/sweeps          submit a design-space sweep (SweepRequest) -> SweepStatus
 //	GET    /v1/sweeps          list known sweeps      -> []SweepStatus
@@ -21,6 +22,12 @@
 //	GET    /v1/routers         built-in optical routers -> []RouterInfo
 //	GET    /v1/topologies      built-in topology kinds  -> []string
 //	GET    /healthz            liveness + pool stats  -> Health
+//
+// The list endpoints accept ?status=<state> and ?limit=<n> filters
+// (limit keeps the most recent n matching entries). Every non-2xx
+// response is the structured error envelope ErrorEnvelope —
+// {"error": {"code", "message", "details"}} — with a machine-readable
+// ErrorCode, so clients branch on codes instead of parsing prose.
 //
 // A sweep expands a grid (apps x architectures x objectives x
 // algorithms x budgets x seeds) into cells; every cell is exactly one
@@ -221,7 +228,11 @@ func Topologies() []string { return topo.Kinds() }
 
 // Health is the /healthz payload.
 type Health struct {
-	Status        string        `json:"status"`
+	Status string `json:"status"`
+	// Version is the build's version string (module version, VCS
+	// revision, or "devel"), so fleet dashboards can tell instances
+	// apart.
+	Version       string        `json:"version"`
 	Workers       int           `json:"workers"`
 	QueueDepth    int           `json:"queue_depth"`
 	QueueCapacity int           `json:"queue_capacity"`

@@ -7,13 +7,15 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sweep"
+	"phonocmap/internal/version"
 )
 
 // Config sizes the service.
@@ -136,6 +138,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -176,9 +179,16 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	case <-ctx.Done():
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		err := hs.Shutdown(shCtx)
-		if serr := s.Shutdown(shCtx); err == nil {
-			err = serr
+		// Cancel the jobs BEFORE draining the listener: SSE event streams
+		// stay open for the life of their job, so draining first would
+		// wait out the whole timeout whenever a stream is watching a
+		// running job (http.Server.Shutdown does not cancel request
+		// contexts). Cancellation closes every job's Done channel, the
+		// streams emit their terminal snapshot and exit, and the drain
+		// below completes promptly.
+		err := s.Shutdown(shCtx)
+		if herr := hs.Shutdown(shCtx); err == nil {
+			err = herr
 		}
 		return err
 	}
@@ -236,14 +246,13 @@ func (s *Server) runJob(j *Job) {
 	// once it settles (all exit paths below reach a terminal state).
 	defer func() { s.evalsDone.Add(int64(j.foldEvals())) }()
 
-	var res core.RunResult
 	var trace []TraceEvent
-	var err error
-	if j.spec.Seeds <= 1 {
-		res, err = s.runSingle(j)
-	} else {
-		res, err = s.runIslands(j)
-	}
+	// The one islands/single-seed dispatch every backend shares; the
+	// job's counters and trace feed off its observers.
+	res, err := j.comp.OptimizeObserved(j.ctx, scenario.Observers{
+		OnImprove:  j.improve,
+		OnProgress: j.observe,
+	})
 	switch {
 	case err != nil && j.ctx.Err() != nil:
 		j.finish(StateCancelled, nil, nil, err)
@@ -275,37 +284,6 @@ func (s *Server) runJob(j *Job) {
 			s.cache.put(j.key, res, trace, j.snapshotIslandEvals(), rep)
 		}
 	}
-}
-
-func (s *Server) runSingle(j *Job) (core.RunResult, error) {
-	alg, err := search.New(j.spec.Algorithm)
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	ex, err := core.NewExploration(j.comp.Problem, core.Options{
-		Budget:     j.spec.Budget,
-		Seed:       j.spec.Seed,
-		Context:    j.ctx,
-		OnImprove:  func(evals int, best core.Score) { j.improve(0, evals, best) },
-		OnProgress: func(evals int, best core.Score) { j.observe(0, evals, best) },
-	})
-	if err != nil {
-		return core.RunResult{}, err
-	}
-	return ex.Run(alg)
-}
-
-func (s *Server) runIslands(j *Job) (core.RunResult, error) {
-	factory := func() (core.Searcher, error) { return search.New(j.spec.Algorithm) }
-	best, _, err := core.RunParallel(j.comp.Problem, factory, core.ParallelOptions{
-		Budget:     j.spec.Budget,
-		Seeds:      core.SeedSequence(j.spec.Seed, j.spec.Seeds),
-		Workers:    0, // islands of one job may use the whole machine
-		Context:    j.ctx,
-		OnImprove:  j.improve,
-		OnProgress: j.observe,
-	})
-	return best, err
 }
 
 // evictOldestTerminal compacts an insertion-ordered registry down
@@ -390,10 +368,6 @@ func (s *Server) activeSweeps() int {
 
 // --- HTTP handlers ---
 
-type apiError struct {
-	Error string `json:"error"`
-}
-
 // maxRequestBytes bounds submit payloads: generous for any legitimate
 // custom app graph or sweep grid, small enough that a flood of oversized
 // bodies cannot balloon decoder memory.
@@ -409,19 +383,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		writeError(w, CodeShuttingDown, "server is shutting down", nil)
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req Request
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, CodeInvalidRequest, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	spec, err := normalize(req, Limits{MaxBudget: s.cfg.MaxBudget, MaxSeeds: s.cfg.MaxSeeds})
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeError(w, CodeInvalidSpec, err.Error(), nil)
 		return
 	}
 	key := spec.Key()
@@ -440,7 +414,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the Eq. 2 fit check) before committing the job to the queue.
 	comp, err := compile(spec)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeError(w, CodeInvalidSpec, err.Error(), nil)
 		return
 	}
 
@@ -459,13 +433,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
 		j.cancel() // release the context registered on baseCtx
-		writeJSON(w, http.StatusServiceUnavailable, apiError{
-			Error: fmt.Sprintf("job queue full (%d pending); retry later", s.cfg.QueueSize),
-		})
+		writeError(w, CodeQueueFull,
+			fmt.Sprintf("job queue full (%d pending); retry later", s.cfg.QueueSize),
+			map[string]any{"queue_capacity": s.cfg.QueueSize})
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// listQuery is the shared ?status= / ?limit= filter of the list
+// endpoints: status restricts to one lifecycle state, limit caps the
+// response to the most recent N matching entries (0 = uncapped), so
+// clients polling a busy instance need not page the entire registry.
+type listQuery struct {
+	status State
+	limit  int
+}
+
+// parseListQuery validates the filter query parameters.
+func parseListQuery(r *http.Request) (listQuery, error) {
+	q := r.URL.Query()
+	var lq listQuery
+	if s := q.Get("status"); s != "" {
+		st := State(s)
+		switch st {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+			lq.status = st
+		default:
+			return listQuery{}, fmt.Errorf("unknown status %q", s)
+		}
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			return listQuery{}, fmt.Errorf("bad limit %q (want a non-negative integer)", l)
+		}
+		lq.limit = n
+	}
+	return lq, nil
+}
+
+// tail keeps the most recent n entries of an insertion-ordered slice
+// (n = 0 means all).
+func tail[T any](s []T, n int) []T {
+	if n > 0 && len(s) > n {
+		return s[len(s)-n:]
+	}
+	return s
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	lq, err := parseListQuery(r)
+	if err != nil {
+		writeError(w, CodeInvalidRequest, err.Error(), nil)
+		return
+	}
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
@@ -476,15 +496,19 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	out := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, j.status())
+		st := j.status()
+		if lq.status != "" && st.State != lq.status {
+			continue
+		}
+		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, tail(out, lq.limit))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, CodeNotFound, "unknown job", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -493,14 +517,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, CodeNotFound, "unknown job", nil)
 		return
 	}
 	res, state, ok := j.snapshotResult()
 	if !ok {
 		if state.Terminal() {
 			// failed, or cancelled before any evaluation
-			writeJSON(w, http.StatusConflict, j.status())
+			st := j.status()
+			msg := st.Error
+			if msg == "" {
+				msg = fmt.Sprintf("job %s without a result", state)
+			}
+			writeError(w, CodeNoResult, msg, map[string]any{"state": state})
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.status())
@@ -512,7 +541,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, CodeNotFound, "unknown job", nil)
 		return
 	}
 	state, trace := j.snapshotTrace()
@@ -522,7 +551,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, CodeNotFound, "unknown job", nil)
 		return
 	}
 	j.Cancel()
@@ -531,38 +560,38 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		writeError(w, CodeShuttingDown, "server is shutting down", nil)
 		return
 	}
 	// Bound live sweeps before decoding: MaxSweeps only evicts finished
 	// sweeps from the registry, so without this gate a flood of
 	// submissions would accumulate unbounded in-flight work — the sweep
-	// analogue of the job queue's 503 on saturation.
+	// analogue of the job queue's shedding on saturation.
 	if active := s.activeSweeps(); active >= s.cfg.MaxSweeps {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{
-			Error: fmt.Sprintf("%d sweeps in flight (limit %d); retry later", active, s.cfg.MaxSweeps),
-		})
+		writeError(w, CodeQueueFull,
+			fmt.Sprintf("%d sweeps in flight (limit %d); retry later", active, s.cfg.MaxSweeps),
+			map[string]any{"max_sweeps": s.cfg.MaxSweeps})
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	var req SweepRequest
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, CodeInvalidRequest, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	grid := req.grid()
 	// Size() saturates instead of overflowing, so adversarially long
 	// dimension lists cannot wrap the product past this check.
 	if size := grid.Size(); size > s.cfg.MaxSweepCells {
-		writeJSON(w, http.StatusBadRequest, apiError{
-			Error: fmt.Sprintf("service: sweep expands to %d cells, limit %d", size, s.cfg.MaxSweepCells),
-		})
+		writeError(w, CodeInvalidSpec,
+			fmt.Sprintf("service: sweep expands to %d cells, limit %d", size, s.cfg.MaxSweepCells),
+			map[string]any{"cells": size, "max_sweep_cells": s.cfg.MaxSweepCells})
 		return
 	}
 	cells, err := sweep.Expand(grid)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeError(w, CodeInvalidSpec, err.Error(), nil)
 		return
 	}
 	// Normalize every cell into a job spec up front so the whole grid is
@@ -581,9 +610,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			Analyses:  c.Analyses,
 		}, lim)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{
-				Error: fmt.Sprintf("cell %s: %v", c.Label(), err),
-			})
+			writeError(w, CodeInvalidSpec, fmt.Sprintf("cell %s: %v", c.Label(), err),
+				map[string]any{"cell": c.Label()})
 			return
 		}
 		scs = append(scs, sweepCell{cell: c, spec: spec, key: spec.Key()})
@@ -596,7 +624,12 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, sw.status())
 }
 
-func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	lq, err := parseListQuery(r)
+	if err != nil {
+		writeError(w, CodeInvalidRequest, err.Error(), nil)
+		return
+	}
 	s.mu.Lock()
 	sweeps := make([]*Sweep, 0, len(s.sweepOrder))
 	for _, id := range s.sweepOrder {
@@ -607,15 +640,19 @@ func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	out := make([]SweepStatus, 0, len(sweeps))
 	for _, sw := range sweeps {
-		out = append(out, sw.summary())
+		st := sw.summary()
+		if lq.status != "" && st.State != lq.status {
+			continue
+		}
+		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, tail(out, lq.limit))
 }
 
 func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.sweepByID(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		writeError(w, CodeNotFound, "unknown sweep", nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, sw.status())
@@ -624,7 +661,7 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.sweepByID(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		writeError(w, CodeNotFound, "unknown sweep", nil)
 		return
 	}
 	if !sw.currentState().Terminal() {
@@ -637,7 +674,7 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.sweepByID(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		writeError(w, CodeNotFound, "unknown sweep", nil)
 		return
 	}
 	sw.Cancel()
@@ -688,6 +725,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	perSec := float64(total) / math.Max(uptime, 1)
 	writeJSON(w, http.StatusOK, Health{
 		Status:        status,
+		Version:       version.String(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    len(s.queue),
 		QueueCapacity: s.cfg.QueueSize,

@@ -356,12 +356,16 @@ func TestQueueFull(t *testing.T) {
 	full := false
 	for i := 0; i < 8; i++ {
 		req.Seed = int64(i + 1) // distinct specs dodge the cache
-		var st JobStatus
-		code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &st)
+		var raw json.RawMessage
+		code := doJSON(t, http.MethodPost, base+"/v1/jobs", req, &raw)
 		switch code {
 		case http.StatusAccepted:
+			var st JobStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatal(err)
+			}
 			ids = append(ids, st.ID)
-		case http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests:
 			full = true
 		default:
 			t.Fatalf("submit %d returned %d", i, code)

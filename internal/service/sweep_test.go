@@ -224,9 +224,12 @@ func TestSweepBadRequests(t *testing.T) {
 		}},
 	}
 	for _, c := range cases {
-		var apiErr apiError
-		if code := doJSON(t, http.MethodPost, base+"/v1/sweeps", c.req, &apiErr); code != http.StatusBadRequest {
-			t.Errorf("%s: got %d, want 400 (%+v)", c.name, code, apiErr)
+		var env ErrorEnvelope
+		if code := doJSON(t, http.MethodPost, base+"/v1/sweeps", c.req, &env); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d, want 400 (%+v)", c.name, code, env)
+		}
+		if env.Error.Code != CodeInvalidSpec {
+			t.Errorf("%s: error code %q, want %q", c.name, env.Error.Code, CodeInvalidSpec)
 		}
 	}
 
@@ -236,8 +239,8 @@ func TestSweepBadRequests(t *testing.T) {
 }
 
 // TestSweepAdmissionControl: live sweeps are bounded like the job queue
-// — past MaxSweeps in-flight sweeps, submissions are shed with 503
-// instead of accumulating unbounded buffered work.
+// — past MaxSweeps in-flight sweeps, submissions are shed with a 429
+// queue_full envelope instead of accumulating unbounded buffered work.
 func TestSweepAdmissionControl(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, MaxSweeps: 1, MaxBudget: 100_000_000})
 	base := ts.URL
@@ -252,8 +255,12 @@ func TestSweepAdmissionControl(t *testing.T) {
 	}
 	second := long
 	second.Seeds = []int64{2}
-	if code := doJSON(t, http.MethodPost, base+"/v1/sweeps", second, nil); code != http.StatusServiceUnavailable {
-		t.Errorf("sweep beyond the in-flight limit returned %d, want 503", code)
+	var env ErrorEnvelope
+	if code := doJSON(t, http.MethodPost, base+"/v1/sweeps", second, &env); code != http.StatusTooManyRequests {
+		t.Errorf("sweep beyond the in-flight limit returned %d, want 429", code)
+	}
+	if env.Error.Code != CodeQueueFull {
+		t.Errorf("shed sweep error code %q, want %q", env.Error.Code, CodeQueueFull)
 	}
 	// Draining the first sweep frees the slot.
 	doJSON(t, http.MethodDelete, base+"/v1/sweeps/"+first.ID, nil, nil)

@@ -1,0 +1,56 @@
+// Package version resolves the build's version string from the Go
+// build info embedded in the binary, so the service, the CLI binaries
+// and the client SDK all report one consistent identity without a
+// hand-maintained constant (module builds carry the module version,
+// source builds the VCS revision).
+package version
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// read is memoized: build info is immutable for the life of the process
+// and ReadBuildInfo re-parses it on every call.
+var read = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		// Source builds: fall back to the VCS revision stamped by the
+		// toolchain, truncated to the conventional short-hash length.
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		switch {
+		case rev != "" && dirty:
+			v = rev + "-dirty"
+		case rev != "":
+			v = rev
+		default:
+			v = "devel"
+		}
+	}
+	return v
+})
+
+// String returns the build's version: the module version of a released
+// build, the (short) VCS revision of a source build, or "devel" when
+// neither is stamped.
+func String() string { return read() }
+
+// UserAgent formats the conventional User-Agent value for the named
+// component, e.g. "phonocmap-client/v1.2.3".
+func UserAgent(component string) string { return component + "/" + String() }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"phonocmap/client"
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
@@ -34,6 +35,7 @@ import (
 	"phonocmap/internal/power"
 	"phonocmap/internal/robust"
 	"phonocmap/internal/router"
+	"phonocmap/internal/runner"
 	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sim"
@@ -135,6 +137,34 @@ type (
 	// ScenarioResult is one executed scenario: the optimization run plus
 	// its analysis report.
 	ScenarioResult = scenario.Result
+	// Runner is the unified execution interface over PhoNoCMap's
+	// backends: run a scenario, run a design-space sweep, discover what
+	// the backend offers. NewLocalRunner executes in-process; NewClient
+	// executes against a phonocmap-serve instance — contractually
+	// equivalent for equal specs (identical mappings, scores, evaluation
+	// counts and analysis reports), so front ends pick the backend with a
+	// flag.
+	Runner = runner.Runner
+	// RunnerScenarioResult is one scenario executed through a Runner —
+	// identical across backends up to wall-clock duration.
+	RunnerScenarioResult = runner.ScenarioResult
+	// RunnerSweepResult is one sweep executed through a Runner: per-cell
+	// outcomes plus the standard aggregations.
+	RunnerSweepResult = runner.SweepResult
+	// RunnerSweepCellResult is the outcome of one sweep cell executed
+	// through a Runner.
+	RunnerSweepCellResult = runner.SweepCellResult
+	// SweepRunOptions tunes a Runner sweep execution (workers, caching,
+	// progress callback).
+	SweepRunOptions = runner.SweepOptions
+	// AppInfo and RouterInfo are the discovery shapes shared by every
+	// backend.
+	AppInfo    = runner.AppInfo
+	RouterInfo = runner.RouterInfo
+	// Client is the typed phonocmap-serve SDK (package client); it
+	// implements Runner and adds server-specific calls (Health,
+	// CancelJob, CancelSweep).
+	Client = client.Client
 )
 
 // Objective values.
@@ -334,6 +364,22 @@ func CompileScenario(spec Scenario) (*CompiledScenario, error) {
 // the service's /v1/jobs endpoint.
 func RunScenario(ctx context.Context, spec Scenario) (ScenarioResult, error) {
 	return scenario.Run(ctx, spec)
+}
+
+// NewLocalRunner returns the in-process execution backend: scenarios
+// and sweeps run on this machine's worker pool through the scenario
+// compiler and the sweep engine — the exact pipeline phonocmap-serve
+// workers run.
+func NewLocalRunner() Runner { return runner.NewLocal() }
+
+// NewClient returns the remote execution backend: a typed client for
+// the phonocmap-serve instance at serverURL (e.g.
+// "http://localhost:8080"), implementing the same Runner interface as
+// NewLocalRunner with identical results for equal specs. Options tune
+// polling, retries, caching and the HTTP transport; use client.New
+// directly for the full SDK surface (Health, CancelJob, CancelSweep).
+func NewClient(serverURL string, opts ...client.Option) (Runner, error) {
+	return client.New(serverURL, opts...)
 }
 
 // RunExperiment executes a declarative experiment description end to end
