@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"phonocmap/internal/runner"
@@ -138,6 +139,37 @@ type Client struct {
 	retryBackoff    time.Duration
 	useEvents       bool
 	noCache         bool
+
+	// Transport-health counters, exposed through Metrics. They count
+	// decisions, not requests: a retry is one backoff-and-repeat, an SSE
+	// fallback is one stream abandoned for polling, a poll round is one
+	// status GET while waiting on a job or sweep.
+	nRetries      atomic.Int64
+	nSSEFallbacks atomic.Int64
+	nPollRounds   atomic.Int64
+}
+
+// Metrics is a snapshot of the client's transport-health counters —
+// the SDK-side view of how smoothly the server conversation is going
+// (retries climbing means rejections or flaky transport; SSE fallbacks
+// mean a buffering proxy; poll rounds quantify wait traffic).
+type Metrics struct {
+	// Retries counts backoff-and-repeat cycles across all calls.
+	Retries int64 `json:"retries"`
+	// SSEFallbacks counts event streams abandoned for status polling.
+	SSEFallbacks int64 `json:"sse_fallbacks"`
+	// PollRounds counts status GETs issued while waiting on jobs and
+	// sweeps.
+	PollRounds int64 `json:"poll_rounds"`
+}
+
+// Metrics returns the client's transport-health counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Retries:      c.nRetries.Load(),
+		SSEFallbacks: c.nSSEFallbacks.Load(),
+		PollRounds:   c.nPollRounds.Load(),
+	}
 }
 
 var _ runner.Runner = (*Client)(nil)
@@ -235,6 +267,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, exp
 			// or may not have been accepted; do not repeat it blindly.
 			return code, lastErr
 		}
+		c.nRetries.Add(1)
 		backoff := c.retryBackoff << attempt
 		select {
 		case <-ctx.Done():

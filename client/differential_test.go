@@ -122,10 +122,30 @@ func TestDifferentialScenarios(t *testing.T) {
 			if remote.Evals == 0 || len(remote.Mapping) == 0 {
 				t.Fatalf("degenerate remote result: %+v", remote)
 			}
-			// Wall-clock duration is the one execution-local field.
+			if remote.Trace == nil || localRes.Trace == nil {
+				t.Fatalf("missing trace: remote=%t local=%t", remote.Trace != nil, localRes.Trace != nil)
+			}
+			// Wall-clock measurements are the execution-local fields: the
+			// result duration and the trace's timing/throughput numbers.
+			// Everything else in the trace — event islands, evaluation
+			// counts, scores, span breakdowns — is part of the contract.
 			remote.DurationMs, localRes.DurationMs = 0, 0
+			stripTraceTiming(remote.Trace)
+			stripTraceTiming(localRes.Trace)
 			jsonDiff(t, tc.name, remote, localRes)
 		})
+	}
+}
+
+// stripTraceTiming zeroes a trace's execution-local wall-clock fields so
+// the deterministic remainder can be compared byte-for-byte.
+func stripTraceTiming(tr *scenario.RunTrace) {
+	tr.TimeToBestMs, tr.DurationMs, tr.EvalsPerSec = 0, 0, 0
+	for i := range tr.Events {
+		tr.Events[i].AtMs = 0
+	}
+	for i := range tr.Islands {
+		tr.Islands[i].EvalsPerSec = 0
 	}
 }
 

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phonocmap/internal/config"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/service"
+)
+
+// TestMetricsPollRounds: with the event stream disabled, waiting on a
+// job is pure polling — the poll-round counter must record it, and the
+// other counters must stay silent on a healthy conversation.
+func TestMetricsPollRounds(t *testing.T) {
+	c, _ := newTestBackend(t, service.Config{})
+	// Rebuild the client without events (newTestBackend enables them).
+	c2, err := New(c.BaseURL(), WithPollInterval(time.Millisecond), WithoutEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.Spec{
+		App: config.AppSpec{Builtin: "PIP"}, Algorithm: "rs", Budget: 500, Seed: 1,
+	}
+	if _, err := c2.RunScenario(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	m := c2.Metrics()
+	if m.PollRounds < 1 {
+		t.Errorf("poll rounds = %d, want >= 1", m.PollRounds)
+	}
+	if m.SSEFallbacks != 0 {
+		t.Errorf("sse fallbacks = %d, want 0 (events were disabled, not abandoned)", m.SSEFallbacks)
+	}
+	if m.Retries != 0 {
+		t.Errorf("retries = %d, want 0 on a healthy server", m.Retries)
+	}
+}
+
+// TestMetricsSSEFallback: when the event stream is unusable (here: a
+// proxy-like layer that rejects it), the client falls back to polling
+// and counts the abandoned stream.
+func TestMetricsSSEFallback(t *testing.T) {
+	srv := service.New(service.Config{Workers: 2})
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			http.Error(w, "stream not supported here", http.StatusNotFound)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	c, err := New(ts.URL, WithPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.Spec{
+		App: config.AppSpec{Builtin: "PIP"}, Algorithm: "rs", Budget: 500, Seed: 2,
+	}
+	if _, err := c.RunScenario(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.SSEFallbacks != 1 {
+		t.Errorf("sse fallbacks = %d, want 1", m.SSEFallbacks)
+	}
+	if m.PollRounds < 1 {
+		t.Errorf("poll rounds = %d, want >= 1 after the fallback", m.PollRounds)
+	}
+}
+
+// TestMetricsRetries: gateway-style failures on an idempotent call are
+// retried with backoff, one counter tick per backoff-and-repeat cycle.
+func TestMetricsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "bad gateway", http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[]`))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithRetries(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apps(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}

@@ -79,6 +79,7 @@ func (c *Client) RunScenario(ctx context.Context, spec scenario.Spec) (runner.Sc
 			DurationMs:  res.DurationMs,
 			Cancelled:   res.Cancelled,
 			Report:      res.Report,
+			Trace:       res.Trace,
 		}, nil
 	default:
 		return runner.ScenarioResult{}, fmt.Errorf("client: job %s settled in unexpected state %q", st.ID, st.State)
@@ -103,6 +104,7 @@ func (c *Client) awaitJob(ctx context.Context, st service.JobStatus) (service.Jo
 		if ctx.Err() != nil {
 			return c.salvageJob(st.ID, ctx.Err())
 		}
+		c.nSSEFallbacks.Add(1)
 	}
 	final, err := c.pollJob(ctx, st.ID)
 	if err != nil {
@@ -192,6 +194,7 @@ func (c *Client) watchJob(ctx context.Context, id string) (service.JobStatus, bo
 func (c *Client) pollJob(ctx context.Context, id string) (service.JobStatus, error) {
 	interval := c.pollInterval
 	for {
+		c.nPollRounds.Add(1)
 		var st service.JobStatus
 		if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, http.StatusOK, true); err != nil {
 			return service.JobStatus{}, err
@@ -280,6 +283,7 @@ func (c *Client) RunSweep(ctx context.Context, spec sweep.Spec, opts runner.Swee
 		if interval *= 2; interval > c.maxPollInterval {
 			interval = c.maxPollInterval
 		}
+		c.nPollRounds.Add(1)
 		if _, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st, http.StatusOK, true); err != nil {
 			if ctx.Err() != nil {
 				return c.salvageSweep(id, ctx.Err())
@@ -330,6 +334,7 @@ func (c *Client) salvageSweep(id string, cause error) (runner.SweepResult, error
 	}
 	interval := c.pollInterval
 	for {
+		c.nPollRounds.Add(1)
 		var st service.SweepStatus
 		if _, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st, http.StatusOK, true); err != nil {
 			return runner.SweepResult{}, cause

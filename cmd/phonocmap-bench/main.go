@@ -7,6 +7,7 @@
 //	phonocmap-bench fig3   [-samples 100000] [-seed 1] [-apps PIP,VOPD] [-csv dir] [-workers N]
 //	phonocmap-bench table2 [-budget 20000] [-seed 1] [-apps ...] [-algos rs,ga,rpbla] [-workers N] [-server URL]
 //	phonocmap-bench ablation [-app VOPD] [-seed 1]
+//	phonocmap-bench perf [-json] [-out BENCH_2026-01-01.json] [-budget 5000]
 //
 // Defaults reproduce the paper's setup; reduced samples/budgets give
 // quick sanity runs. The grid-shaped experiments run on the sweep
@@ -41,6 +42,12 @@ func main() {
 		err = cmdTable2(os.Args[2:])
 	case "ablation":
 		err = cmdAblation(os.Args[2:])
+	case "perf":
+		err = cmdPerf(os.Args[2:])
+	case "-json":
+		// Alias: `phonocmap-bench -json` is `perf -json` — the one-liner
+		// CI and scripts use to pipe the perf snapshot to stdout.
+		err = cmdPerf(os.Args[1:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -60,7 +67,8 @@ func usage() {
 Commands:
   fig3      probability distributions of SNR and loss over random mappings
   table2    RS vs GA vs R-PBLA on mesh and torus, both objectives
-  ablation  budget and router ablations (beyond the paper)`)
+  ablation  budget and router ablations (beyond the paper)
+  perf      machine-readable perf snapshot (BENCH_<date>.json); -json to stdout`)
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,263 @@
+package main
+
+// The perf subcommand is the tracked performance trajectory: a
+// machine-readable snapshot of the two throughput numbers the project
+// optimizes for — raw evaluation speed (full re-evaluation vs the
+// incremental delta engine on the swap hot path) and end-to-end
+// optimizer throughput per algorithm. CI runs it on every push and
+// uploads the JSON as an artifact; committed BENCH_<date>.json files
+// pin the trajectory across PRs.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"phonocmap"
+	"phonocmap/internal/version"
+)
+
+// perfReport is the BENCH_<date>.json schema.
+type perfReport struct {
+	// Date is the snapshot day (YYYY-MM-DD); Version the build version.
+	Date      string `json:"date"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// SwapEval compares full re-evaluation against the incremental
+	// delta engine on the swap-and-score hot path.
+	SwapEval []swapEvalPerf `json:"swap_eval"`
+	// Algorithms is end-to-end optimizer throughput, one full run per
+	// algorithm at the same budget and seed.
+	Algorithms []algoPerf `json:"algorithms"`
+}
+
+// swapEvalPerf is one full-vs-incremental case on a dense random CG
+// (the incremental engine's worst case: many communications per task).
+type swapEvalPerf struct {
+	Case              string  `json:"case"`
+	Tasks             int     `json:"tasks"`
+	Edges             int     `json:"edges"`
+	FullEvalsPerSec   float64 `json:"full_evals_per_sec"`
+	IncrEvalsPerSec   float64 `json:"incremental_evals_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	SwapsMeasuredFull int     `json:"swaps_measured_full"`
+	SwapsMeasuredIncr int     `json:"swaps_measured_incremental"`
+}
+
+// algoPerf is one optimizer run: evaluations per second through the
+// full algorithm loop (bookkeeping included), plus the score it
+// reached so quality regressions show up next to throughput ones.
+type algoPerf struct {
+	Algorithm   string  `json:"algorithm"`
+	App         string  `json:"app"`
+	Budget      int     `json:"budget"`
+	Evals       int     `json:"evals"`
+	DurationMs  float64 `json:"duration_ms"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	SNRDB       float64 `json:"snr_db"`
+}
+
+func cmdPerf(args []string) error {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	app := fs.String("app", "VOPD", "application for the per-algorithm runs")
+	budget := fs.Int("budget", 5000, "evaluation budget per algorithm run")
+	seed := fs.Int64("seed", 1, "random seed")
+	algos := fs.String("algos", "rs,ga,rpbla,sa,tabu,memetic", "comma-separated algorithms")
+	minTime := fs.Duration("mintime", 300*time.Millisecond, "minimum measurement window per swap-eval case")
+	out := fs.String("out", "", "write the snapshot to this path (default BENCH_<date>.json)")
+	toStdout := fs.Bool("json", false, "write the snapshot JSON to stdout instead of a file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := perfReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Version:   version.String(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	swapCases := []struct {
+		name         string
+		side         int
+		tasks, edges int
+	}{
+		{"4x4-dense", 4, 14, 48},
+		{"8x8-dense", 8, 56, 220},
+	}
+	for _, tc := range swapCases {
+		r, err := measureSwapEval(tc.name, tc.side, tc.tasks, tc.edges, *seed, *minTime)
+		if err != nil {
+			return fmt.Errorf("swap-eval %s: %w", tc.name, err)
+		}
+		rep.SwapEval = append(rep.SwapEval, r)
+	}
+
+	for _, algo := range splitList(*algos) {
+		r, err := measureAlgo(*app, algo, *budget, *seed)
+		if err != nil {
+			return fmt.Errorf("algorithm %s: %w", algo, err)
+		}
+		rep.Algorithms = append(rep.Algorithms, r)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *toStdout {
+		_, err := os.Stdout.Write(enc)
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d swap-eval cases, %d algorithms)\n", path, len(rep.SwapEval), len(rep.Algorithms))
+	return nil
+}
+
+// measureSwapEval times the swap-and-score hot path both ways on one
+// dense random CG, repeating a fixed 4096-swap sequence until the
+// measurement window fills.
+func measureSwapEval(name string, side, tasks, edges int, seed int64, minTime time.Duration) (swapEvalPerf, error) {
+	rng := rand.New(rand.NewSource(seed))
+	app, err := phonocmap.RandomApp(rng, tasks, edges)
+	if err != nil {
+		return swapEvalPerf{}, err
+	}
+	net, err := phonocmap.NewMeshNetwork(side, side)
+	if err != nil {
+		return swapEvalPerf{}, err
+	}
+	prob, err := phonocmap.NewProblem(app, net, phonocmap.MaximizeSNR)
+	if err != nil {
+		return swapEvalPerf{}, err
+	}
+	m0, err := phonocmap.RandomMapping(prob, rng)
+	if err != nil {
+		return swapEvalPerf{}, err
+	}
+
+	// One fixed random swap sequence, shared by both paths.
+	numTiles := net.NumTiles()
+	type swap struct{ a, b phonocmap.TileID }
+	seq := make([]swap, 4096)
+	for i := range seq {
+		a := rng.Intn(numTiles)
+		c := rng.Intn(numTiles - 1)
+		if c >= a {
+			c++
+		}
+		seq[i] = swap{a: phonocmap.TileID(a), b: phonocmap.TileID(c)}
+	}
+
+	// Full re-evaluation path: apply the swap to the mapping, score it
+	// from scratch.
+	taskOf := make([]int, numTiles)
+	for t := range taskOf {
+		taskOf[t] = -1
+	}
+	m := m0.Clone()
+	for task, tile := range m {
+		taskOf[tile] = task
+	}
+	// Both loops cycle the fixed sequence, checking the window every
+	// checkEvery swaps so one pass of an expensive case cannot overshoot
+	// the measurement budget by orders of magnitude.
+	const checkEvery = 64
+	fullOps := 0
+	start := time.Now()
+	for time.Since(start) < minTime {
+		for k := 0; k < checkEvery; k++ {
+			s := seq[fullOps%len(seq)]
+			ta, tb := taskOf[s.a], taskOf[s.b]
+			taskOf[s.a], taskOf[s.b] = tb, ta
+			if ta >= 0 {
+				m[ta] = s.b
+			}
+			if tb >= 0 {
+				m[tb] = s.a
+			}
+			if _, err := phonocmap.Evaluate(prob, m); err != nil {
+				return swapEvalPerf{}, err
+			}
+			fullOps++
+		}
+	}
+	fullRate := float64(fullOps) / time.Since(start).Seconds()
+
+	// Incremental path: the delta engine evaluates only what the swap
+	// touched.
+	sess, err := phonocmap.NewSwapSession(prob, m0)
+	if err != nil {
+		return swapEvalPerf{}, err
+	}
+	incrOps := 0
+	start = time.Now()
+	for time.Since(start) < minTime {
+		for k := 0; k < checkEvery; k++ {
+			s := seq[incrOps%len(seq)]
+			if _, err := sess.EvaluateSwap(s.a, s.b); err != nil {
+				return swapEvalPerf{}, err
+			}
+			sess.Commit()
+			incrOps++
+		}
+	}
+	incrRate := float64(incrOps) / time.Since(start).Seconds()
+
+	out := swapEvalPerf{
+		Case: name, Tasks: tasks, Edges: edges,
+		FullEvalsPerSec:   fullRate,
+		IncrEvalsPerSec:   incrRate,
+		SwapsMeasuredFull: fullOps, SwapsMeasuredIncr: incrOps,
+	}
+	if fullRate > 0 {
+		out.Speedup = incrRate / fullRate
+	}
+	return out, nil
+}
+
+// measureAlgo runs one full optimization and reports its throughput
+// from the optimizer's own wall clock.
+func measureAlgo(app, algo string, budget int, seed int64) (algoPerf, error) {
+	g := phonocmap.MustApp(app)
+	side := phonocmap.SquareForTasks(g.NumTasks())
+	net, err := phonocmap.NewMeshNetwork(side, side)
+	if err != nil {
+		return algoPerf{}, err
+	}
+	prob, err := phonocmap.NewProblem(g, net, phonocmap.MaximizeSNR)
+	if err != nil {
+		return algoPerf{}, err
+	}
+	res, err := phonocmap.Optimize(prob, algo, budget, seed)
+	if err != nil {
+		return algoPerf{}, err
+	}
+	secs := res.Duration.Seconds()
+	out := algoPerf{
+		Algorithm: algo, App: app, Budget: budget,
+		Evals:      res.Evals,
+		DurationMs: float64(res.Duration) / float64(time.Millisecond),
+		SNRDB:      res.Score.WorstSNRDB,
+	}
+	if secs > 0 {
+		out.EvalsPerSec = float64(res.Evals) / secs
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	phonocmap-serve [-addr :8080] [-workers N] [-queue 64] [-cache 256]
+//	                [-log-level info] [-debug-addr :6060]
 //
 // Example session:
 //
@@ -15,21 +16,56 @@
 //	curl -s localhost:8080/v1/jobs/job-000001/result
 //	curl -s -X POST localhost:8080/v1/sweeps -d '{"apps":[{"builtin":"PIP"}],"archs":[{"topology":"mesh"},{"topology":"torus"}],"algorithms":["rs","rpbla"],"budgets":[20000]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-000001/result
+//	curl -s localhost:8080/metrics
+//
+// Observability: GET /metrics serves the Prometheus exposition of the
+// server's telemetry registry; -debug-addr starts a second, separate
+// listener serving net/http/pprof (keep it off the public address).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"phonocmap/internal/service"
 	"phonocmap/internal/version"
 )
+
+// parseLevel maps the -log-level flag to a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// debugMux builds the pprof handler set on its own mux, so the debug
+// listener exposes nothing else (and the service mux exposes no pprof).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -41,14 +77,37 @@ func main() {
 	maxSeeds := flag.Int("max-seeds", 64, "largest accepted island count per job")
 	maxSweepCells := flag.Int("max-sweep-cells", 1024, "largest accepted sweep grid size (cells)")
 	maxSweeps := flag.Int("max-sweeps", 128, "sweep registry bound (oldest finished evicted)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("phonocmap-serve %s (%s)\n", version.String(), runtime.Version())
 		return
 	}
 
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phonocmap-serve:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			logger.Info("pprof debug server listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof debug server failed", "error", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			_ = dbg.Close()
+		}()
+	}
 
 	srv := service.New(service.Config{
 		Addr:          *addr,
@@ -59,12 +118,15 @@ func main() {
 		MaxSeeds:      *maxSeeds,
 		MaxSweepCells: *maxSweepCells,
 		MaxSweeps:     *maxSweeps,
+		Logger:        logger,
 	})
 	cfg := srv.Config()
-	log.Printf("phonocmap-serve %s listening on %s (%d workers, queue %d, cache %d)",
-		version.String(), cfg.Addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+	logger.Info("phonocmap-serve listening",
+		"version", version.String(), "addr", cfg.Addr,
+		"workers", cfg.Workers, "queue", cfg.QueueSize, "cache", cfg.CacheSize)
 	if err := srv.ListenAndServe(ctx); err != nil {
-		log.Fatalf("phonocmap-serve: %v", err)
+		logger.Error("phonocmap-serve failed", "error", err)
+		os.Exit(1)
 	}
-	log.Printf("phonocmap-serve: shut down cleanly")
+	logger.Info("phonocmap-serve shut down cleanly")
 }

@@ -1,0 +1,525 @@
+// Package obs is PhoNoCMap's zero-dependency telemetry layer: atomic,
+// race-safe counters, gauges and fixed-bucket latency histograms behind
+// a Registry with Prometheus text-format exposition. It is the single
+// source of runtime truth for the service — /metrics and /healthz both
+// read the same instruments — and deliberately depends on nothing
+// outside the standard library, so every layer of the system (core,
+// service, client SDK, binaries) can instrument itself without pulling
+// a metrics framework into the module graph.
+//
+// Instruments are constructible standalone (NewCounter, NewGauge,
+// NewHistogram, and their labeled Vec variants) and bound to a metric
+// family name when registered; the Registry also offers combined
+// create-and-register helpers. Exposition is deterministic: families
+// sort by name, children by label values, so scrapes diff cleanly.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns a standalone counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets is the default latency histogram bucketing in seconds —
+// the classic Prometheus spread from 1ms to 10s, wide enough for both
+// sub-millisecond discovery endpoints and multi-second job waits.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket distribution: cumulative bucket counts, a
+// total count and a running sum, all updated atomically. Buckets are
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// rest.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Int64 // one per bucket, non-cumulative; +Inf is counts[len(upper)]
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram over the given ascending
+// upper bounds (DefBuckets when empty). A trailing +Inf bound is
+// implicit and stripped if supplied.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", buckets))
+		}
+	}
+	upper := append([]float64(nil), buckets...)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// labelSep joins label values into child keys. Label values containing
+// it still round-trip: children store their own value slice.
+const labelSep = "\x1f"
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*counterChild
+}
+
+type counterChild struct {
+	values []string
+	c      Counter
+}
+
+// NewCounterVec returns a standalone labeled counter family.
+func NewCounterVec(labels ...string) *CounterVec {
+	mustLabels(labels)
+	return &CounterVec{labels: labels, children: make(map[string]*counterChild)}
+}
+
+// With returns the counter for the given label values (created on first
+// use). The number of values must match the declared labels.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return &ch.c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; !ok {
+		ch = &counterChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+// HistogramVec is a family of histograms partitioned by label values,
+// sharing one bucket layout.
+type HistogramVec struct {
+	labels   []string
+	buckets  []float64
+	mu       sync.RWMutex
+	children map[string]*histogramChild
+}
+
+type histogramChild struct {
+	values []string
+	h      *Histogram
+}
+
+// NewHistogramVec returns a standalone labeled histogram family over
+// the given buckets (DefBuckets when empty).
+func NewHistogramVec(buckets []float64, labels ...string) *HistogramVec {
+	mustLabels(labels)
+	// Validate the layout once, up front, by building a throwaway child.
+	probe := NewHistogram(buckets)
+	return &HistogramVec{labels: labels, buckets: probe.upper, children: make(map[string]*histogramChild)}
+}
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return ch.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; !ok {
+		ch = &histogramChild{values: append([]string(nil), values...), h: NewHistogram(v.buckets)}
+		v.children[key] = ch
+	}
+	return ch.h
+}
+
+// Collector is anything the registry can expose: one metric family with
+// a type and zero or more samples.
+type Collector interface {
+	// metricType is the Prometheus TYPE of the family: "counter",
+	// "gauge" or "histogram".
+	metricType() string
+	// write emits the family's sample lines (without HELP/TYPE headers)
+	// for the given family name.
+	write(w io.Writer, name string) error
+}
+
+// GaugeFunc adapts a callback into a gauge collector — the idiom for
+// values computed on demand from live state (queue depth, utilization,
+// uptime).
+type GaugeFunc func() float64
+
+// CounterFunc adapts a callback into a counter collector — for
+// monotonic totals whose source of truth lives elsewhere (e.g. folded
+// plus in-flight evaluation counts).
+type CounterFunc func() float64
+
+// family is one registered metric family.
+type family struct {
+	name string
+	help string
+	c    Collector
+}
+
+// Registry holds named metric families and renders them in Prometheus
+// text exposition format. Registration is typically done once at
+// startup; WritePrometheus may be called concurrently with updates to
+// every registered instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// MustRegister binds a collector to a metric family name. It panics on
+// an invalid name or a duplicate registration — both are programmer
+// errors caught at startup, not runtime conditions.
+func (r *Registry) MustRegister(name, help string, c Collector) {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{name: name, help: help, c: c}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter creates and registers a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := NewCounter()
+	r.MustRegister(name, help, c)
+	return c
+}
+
+// CounterVec creates and registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := NewCounterVec(labels...)
+	r.MustRegister(name, help, v)
+	return v
+}
+
+// CounterFn registers a callback-backed counter.
+func (r *Registry) CounterFn(name, help string, fn func() float64) {
+	r.MustRegister(name, help, CounterFunc(fn))
+}
+
+// Gauge creates and registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := NewGauge()
+	r.MustRegister(name, help, g)
+	return g
+}
+
+// GaugeFn registers a callback-backed gauge.
+func (r *Registry) GaugeFn(name, help string, fn func() float64) {
+	r.MustRegister(name, help, GaugeFunc(fn))
+}
+
+// Histogram creates and registers a histogram (DefBuckets when buckets
+// is empty).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := NewHistogram(buckets)
+	r.MustRegister(name, help, h)
+	return h
+}
+
+// HistogramVec creates and registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := NewHistogramVec(buckets, labels...)
+	r.MustRegister(name, help, v)
+	return v
+}
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.c.metricType()); err != nil {
+			return err
+		}
+		if err := f.c.write(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Collector implementations ---
+
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	return err
+}
+
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+	return err
+}
+
+func (fn GaugeFunc) metricType() string { return "gauge" }
+func (fn GaugeFunc) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+	return err
+}
+
+func (fn CounterFunc) metricType() string { return "counter" }
+func (fn CounterFunc) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+	return err
+}
+
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) write(w io.Writer, name string) error {
+	return h.writeLabeled(w, name, "")
+}
+
+// writeLabeled emits the bucket/sum/count triplet; extra is the child's
+// pre-rendered label list without braces ("" for a bare histogram).
+func (h *Histogram) writeLabeled(w io.Writer, name, extra string) error {
+	cum := int64(0)
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, formatFloat(upper), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, cum); err != nil {
+		return err
+	}
+	suffix := labelSuffix(extra)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, suffix, formatFloat(h.Sum()), name, suffix, h.Count()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// labelSuffix turns a child's label list into the "{...}" suffix of its
+// _sum/_count series ("" for bare histograms).
+func labelSuffix(extra string) string {
+	if extra == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(extra, ",") + "}"
+}
+
+func (v *CounterVec) metricType() string { return "counter" }
+func (v *CounterVec) write(w io.Writer, name string) error {
+	for _, ch := range v.sortedChildren() {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, renderLabels(v.labels, ch.values), ch.c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *CounterVec) sortedChildren() []*counterChild {
+	v.mu.RLock()
+	out := make([]*counterChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, labelSep) < strings.Join(out[j].values, labelSep)
+	})
+	return out
+}
+
+func (v *HistogramVec) metricType() string { return "histogram" }
+func (v *HistogramVec) write(w io.Writer, name string) error {
+	v.mu.RLock()
+	children := make([]*histogramChild, 0, len(v.children))
+	for _, ch := range v.children {
+		children = append(children, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].values, labelSep) < strings.Join(children[j].values, labelSep)
+	})
+	for _, ch := range children {
+		extra := renderLabels(v.labels, ch.values) + ","
+		if err := ch.h.writeLabeled(w, name, extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- formatting helpers ---
+
+// renderLabels renders `k1="v1",k2="v2"` with escaped values.
+func renderLabels(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString("=\"")
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, "+Inf"/"-Inf"/"NaN" for the specials.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validName checks the metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// mustLabels validates label names at vector construction.
+func mustLabels(labels []string) {
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !validName(l) || strings.Contains(l, ":") {
+			panic("obs: invalid label name " + strconv.Quote(l))
+		}
+		if seen[l] {
+			panic("obs: duplicate label name " + strconv.Quote(l))
+		}
+		seen[l] = true
+	}
+}

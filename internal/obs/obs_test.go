@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(-1)
+	g.Add(0.25)
+	if got := g.Value(); got != 1.75 {
+		t.Errorf("gauge = %v, want 1.75", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 5 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	// Bucket upper bounds are inclusive: 0.1 falls in le="0.1".
+	var b strings.Builder
+	if err := h.write(&b, "m"); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_bucket{le="0.1"} 2
+m_bucket{le="1"} 3
+m_bucket{le="10"} 4
+m_bucket{le="+Inf"} 5
+`
+	if !strings.HasPrefix(b.String(), want) {
+		t.Errorf("histogram exposition:\n%s\nwant prefix:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Total ops.")
+	c.Add(7)
+	r.GaugeFn("test_depth", "Live depth.", func() float64 { return 3 })
+	cv := r.CounterVec("test_requests_total", "Requests.", "endpoint", "code")
+	cv.With("GET /x", "200").Add(2)
+	cv.With("GET /x", "404").Inc()
+	hv := r.HistogramVec("test_latency_seconds", "Latency.", []float64{0.01, 0.1}, "endpoint")
+	hv.With("GET /x").Observe(0.05)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_ops_total Total ops.\n# TYPE test_ops_total counter\ntest_ops_total 7\n",
+		"# TYPE test_depth gauge\ntest_depth 3\n",
+		"test_requests_total{endpoint=\"GET /x\",code=\"200\"} 2\n",
+		"test_requests_total{endpoint=\"GET /x\",code=\"404\"} 1\n",
+		"test_latency_seconds_bucket{endpoint=\"GET /x\",le=\"0.01\"} 0\n",
+		"test_latency_seconds_bucket{endpoint=\"GET /x\",le=\"0.1\"} 1\n",
+		"test_latency_seconds_bucket{endpoint=\"GET /x\",le=\"+Inf\"} 1\n",
+		"test_latency_seconds_sum{endpoint=\"GET /x\"} 0.05\n",
+		"test_latency_seconds_count{endpoint=\"GET /x\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Families are sorted by name for deterministic scrapes.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Error("families not sorted by name")
+	}
+
+	// Every line is a comment or a sample; parse to catch format rot.
+	parseExposition(t, out)
+}
+
+// parseExposition is a minimal strict parser of the text format: every
+// non-comment line must be `name{labels} value` or `name value`, with
+// balanced quotes in labels.
+func parseExposition(t *testing.T, out string) map[string]string {
+	t.Helper()
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces in %q", line)
+			}
+			labels := line[i+1 : j]
+			if strings.Count(labels, `"`)%2 != 0 {
+				t.Fatalf("unbalanced quotes in %q", line)
+			}
+			rest = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q does not split into name and value", line)
+		}
+		if !validName(fields[0]) {
+			t.Fatalf("invalid metric name in %q", line)
+		}
+		if fields[1] != "+Inf" && fields[1] != "-Inf" && fields[1] != "NaN" {
+			if _, err := parseFloat(fields[1]); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+	}
+	return types
+}
+
+func parseFloat(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	v := NewCounterVec("path")
+	v.With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	if err := v.write(&b, "m_total"); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_total{path="a\"b\\c\nd"} 1` + "\n"
+	if b.String() != want {
+		t.Errorf("escaped exposition = %q, want %q", b.String(), want)
+	}
+}
+
+// TestConcurrentHammer drives every instrument kind from many
+// goroutines while a scraper renders the registry — run under -race
+// (the CI race step covers this package) it proves the atomic/lock
+// discipline, and the final counts prove no increment is lost.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer_ops_total", "")
+	g := r.Gauge("hammer_level", "")
+	h := r.Histogram("hammer_seconds", "", []float64{0.5})
+	cv := r.CounterVec("hammer_by_kind_total", "", "kind")
+	hv := r.HistogramVec("hammer_kind_seconds", "", []float64{0.5}, "kind")
+	r.GaugeFn("hammer_live", "", func() float64 { return float64(c.Value()) })
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%2) * 0.9)
+				cv.With(kind).Inc()
+				hv.With(kind).Observe(0.25)
+				if j%500 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * iters)
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Errorf("gauge = %v, want %v", g.Value(), float64(total))
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	var sum int64
+	for i := 0; i < 4; i++ {
+		sum += cv.With(fmt.Sprintf("k%d", i)).Value()
+	}
+	if sum != total {
+		t.Errorf("vec counters sum to %d, want %d", sum, total)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, b.String())
+}

@@ -2,7 +2,6 @@ package runner
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"phonocmap/internal/core"
@@ -36,20 +35,12 @@ func (l *Local) RunScenario(ctx context.Context, spec scenario.Spec) (ScenarioRe
 		return ScenarioResult{}, err
 	}
 
-	islandEvals := make([]int, max(comp.Spec.Seeds, 1))
-	var mu sync.Mutex
+	// The tracer keeps the same per-island counters the service worker
+	// does (so IslandEvals matches a remote run entry for entry) and
+	// collects the improvement timeline into the run's span record.
+	tracer := scenario.NewTracer(comp.Spec.Seeds)
 	start := time.Now()
-	run, err := comp.OptimizeObserved(ctx, scenario.Observers{
-		// The same per-island counters the service worker keeps, so
-		// IslandEvals matches a remote run entry for entry.
-		OnProgress: func(island, evals int, _ core.Score) {
-			mu.Lock()
-			if island >= 0 && island < len(islandEvals) {
-				islandEvals[island] = evals
-			}
-			mu.Unlock()
-		},
-	})
+	run, err := comp.OptimizeObserved(ctx, tracer.Observers())
 	if err != nil {
 		return ScenarioResult{}, err
 	}
@@ -61,10 +52,14 @@ func (l *Local) RunScenario(ctx context.Context, spec scenario.Spec) (ScenarioRe
 		Mapping:     run.Mapping,
 		Score:       run.Score,
 		Evals:       run.Evals,
-		IslandEvals: islandEvals,
+		IslandEvals: tracer.IslandEvals(),
 		Seed:        run.Seed,
 		DurationMs:  float64(time.Since(start)) / float64(time.Millisecond),
 		Cancelled:   run.Cancelled,
+		// The trace's duration is the optimizer's own wall clock — the
+		// same source the service worker's result carries, so a remote
+		// trace reads identically.
+		Trace: tracer.Trace(run.Duration),
 	}
 	if !run.Cancelled {
 		// Cancelled runs ship without a report, exactly like the

@@ -61,6 +61,13 @@ type ScenarioResult struct {
 	// Report is the post-optimization analysis report, present when the
 	// spec requested analyses.
 	Report *scenario.Report `json:"report,omitempty"`
+	// Trace is the run's span record: the improvement timeline, per-island
+	// spans and time-to-best. Its deterministic fields (event islands,
+	// evaluation counts, scores; span evals and improvement counts) are
+	// part of the equivalence contract; its wall-clock fields (AtMs,
+	// TimeToBestMs, DurationMs, throughputs) are execution-local like
+	// DurationMs above.
+	Trace *scenario.RunTrace `json:"trace,omitempty"`
 }
 
 // SweepCellResult is the outcome of one executed sweep cell.

@@ -155,14 +155,16 @@ type JobResult struct {
 	// mapping, present when the job's spec requested analyses. Cache hits
 	// replay the live run's report verbatim.
 	Report *scenario.Report `json:"report,omitempty"`
+	// Trace is the run's span record: improvement timeline, per-island
+	// spans, time-to-best. Cache hits replay the live run's trace
+	// verbatim, wall-clock fields included.
+	Trace *scenario.RunTrace `json:"trace,omitempty"`
 }
 
-// TraceEvent is one incumbent improvement of one island.
-type TraceEvent struct {
-	Island int        `json:"island"`
-	Evals  int        `json:"evals"`
-	Score  core.Score `json:"score"`
-}
+// TraceEvent is one incumbent improvement of one island — the scenario
+// layer's event, shared with the local runner so traces cannot drift
+// between backends.
+type TraceEvent = scenario.TraceEvent
 
 // JobTrace is the GET /v1/jobs/{id}/trace payload.
 type JobTrace struct {

@@ -5,15 +5,17 @@ import (
 	"sync"
 
 	"phonocmap/internal/core"
+	"phonocmap/internal/obs"
 	"phonocmap/internal/scenario"
 )
 
 // CacheStats summarizes result-cache effectiveness for /healthz.
 type CacheStats struct {
-	Size     int    `json:"size"`
-	Capacity int    `json:"capacity"`
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // cacheEntry is one cached computation: the winning run, its convergence
@@ -33,21 +35,27 @@ type cacheEntry struct {
 
 // resultCache is a bounded LRU of completed results. Optimization runs
 // are deterministic in their spec, so entries never go stale; the bound
-// only caps memory.
+// only caps memory. Effectiveness counters are obs instruments so
+// /healthz and /metrics read one source of truth.
 type resultCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element, capacity),
+		hits:      obs.NewCounter(),
+		misses:    obs.NewCounter(),
+		evictions: obs.NewCounter(),
 	}
 }
 
@@ -57,10 +65,10 @@ func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, []int, *sce
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return core.RunResult{}, nil, nil, nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	return e.res, e.trace, e.islandEvals, e.report, true
@@ -88,11 +96,23 @@ func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, is
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
 }
 
-func (c *resultCache) stats() CacheStats {
+// size reads the live entry count.
+func (c *resultCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Size: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+	return c.ll.Len()
+}
+
+func (c *resultCache) stats() CacheStats {
+	return CacheStats{
+		Size:      c.size(),
+		Capacity:  c.cap,
+		Hits:      uint64(c.hits.Value()),
+		Misses:    uint64(c.misses.Value()),
+		Evictions: uint64(c.evictions.Value()),
+	}
 }

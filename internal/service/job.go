@@ -170,7 +170,10 @@ func (j *Job) improve(island, evals int, best core.Score) {
 		b := best
 		j.best = &b
 	}
-	j.trace = append(j.trace, TraceEvent{Island: island, Evals: evals, Score: best})
+	j.trace = append(j.trace, TraceEvent{
+		Island: island, Evals: evals, Score: best,
+		AtMs: float64(time.Since(j.started)) / float64(time.Millisecond),
+	})
 }
 
 // finish records the terminal state of an executed job.
@@ -283,6 +286,15 @@ func (j *Job) snapshotResult() (JobResult, State, bool) {
 		return JobResult{}, j.state, false
 	}
 	r := *j.result
+	// Assemble the span record from the job's improvement timeline. The
+	// inputs are replayed verbatim on a cache hit (events with their
+	// original AtMs, the live run's island breakdown and duration), so
+	// hit and miss return identical traces.
+	trace := make([]TraceEvent, len(j.trace))
+	copy(trace, j.trace)
+	islands := make([]int, len(j.islandEvals))
+	copy(islands, j.islandEvals)
+	durationMs := float64(r.Duration) / float64(time.Millisecond)
 	return JobResult{
 		ID:         j.id,
 		State:      j.state,
@@ -292,10 +304,11 @@ func (j *Job) snapshotResult() (JobResult, State, bool) {
 		Mapping:    r.Mapping.Clone(),
 		Score:      r.Score,
 		Evals:      r.Evals,
-		DurationMs: float64(r.Duration) / float64(time.Millisecond),
+		DurationMs: durationMs,
 		Seed:       r.Seed,
 		Cancelled:  r.Cancelled,
 		Report:     j.report,
+		Trace:      scenario.AssembleTrace(trace, islands, durationMs),
 	}, j.state, true
 }
 

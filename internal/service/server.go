@@ -4,7 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -45,6 +45,10 @@ type Config struct {
 	// MaxSweeps bounds the sweep registry; the oldest finished sweeps are
 	// evicted past it (default 128).
 	MaxSweeps int
+	// Logger receives the service's structured logs: the request access
+	// log (debug), job and sweep lifecycle with their IDs (info), and
+	// worker-pool events (debug). Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -75,16 +79,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweeps <= 0 {
 		c.MaxSweeps = 128
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
 // Server is the phonocmap-serve service: an HTTP API over a bounded job
 // queue, a worker pool of optimization runners, and a result cache.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *Job
-	cache *resultCache
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with the telemetry middleware
+	queue   chan *Job
+	cache   *resultCache
+	logger  *slog.Logger
+
+	// metrics is the single source of runtime truth: /metrics renders
+	// its registry and /healthz reads the same instruments.
+	metrics *serverMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -94,11 +107,7 @@ type Server struct {
 	nextSweep atomic.Uint64
 	closed    atomic.Bool
 
-	// evalsDone counts the evaluations of finished (terminal) jobs;
-	// in-flight evaluations are summed from the live jobs on demand.
-	// Cache hits replay results without evaluating and are not counted.
-	evalsDone atomic.Int64
-	started   time.Time
+	started time.Time
 
 	mu         sync.Mutex
 	jobs       map[string]*Job
@@ -118,17 +127,22 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		queue:   make(chan *Job, cfg.QueueSize),
 		cache:   newResultCache(cfg.CacheSize),
+		logger:  cfg.Logger,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
 		sweeps:  make(map[string]*Sweep),
 		started: time.Now(),
 	}
+	s.initMetrics()
 	s.routes()
+	s.handler = s.instrument(s.mux)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	s.logger.Info("server started",
+		"workers", cfg.Workers, "queue_size", cfg.QueueSize, "cache_size", cfg.CacheSize)
 	return s
 }
 
@@ -150,10 +164,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/routers", s.handleRouters)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API, wrapped with the telemetry middleware
+// (per-endpoint request counters, latency histograms, access log).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Config returns the effective configuration (defaults resolved).
 func (s *Server) Config() Config { return s.cfg }
@@ -164,7 +180,7 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	hs := &http.Server{
 		Addr:    s.cfg.Addr,
-		Handler: s.mux,
+		Handler: s.handler,
 		// A public long-lived service must bound slow/idle connections or
 		// a slowloris-style client exhausts file descriptors.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -225,12 +241,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // worker executes jobs from the queue until shutdown.
 func (s *Server) worker() {
 	defer s.workers.Done()
+	defer s.logger.Debug("worker stopped")
+	s.logger.Debug("worker started")
 	for {
 		select {
 		case <-s.baseCtx.Done():
 			return
 		case j := <-s.queue:
+			s.metrics.workersBusy.Add(1)
 			s.runJob(j)
+			s.metrics.workersBusy.Add(-1)
 		}
 	}
 }
@@ -244,7 +264,13 @@ func (s *Server) runJob(j *Job) {
 	defer j.cancel() // release the job context resources
 	// Fold the job's evaluations into the lifetime throughput counter
 	// once it settles (all exit paths below reach a terminal state).
-	defer func() { s.evalsDone.Add(int64(j.foldEvals())) }()
+	defer func() { s.metrics.evalsDone.Add(int64(j.foldEvals())) }()
+	defer func() {
+		st := j.status()
+		s.logger.Info("job finished",
+			"job", j.id, "state", st.State, "evals", st.Evals, "error", st.Error)
+	}()
+	s.logger.Debug("job started", "job", j.id, "algorithm", j.spec.Algorithm, "budget", j.spec.Budget)
 
 	var trace []TraceEvent
 	// The one islands/single-seed dispatch every backend shares; the
@@ -310,6 +336,7 @@ func evictOldestTerminal[T any](order []string, entries map[string]T, limit int,
 
 // register stores a job, evicting the oldest finished jobs past MaxJobs.
 func (s *Server) register(j *Job) {
+	s.metrics.jobsSubmitted.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.id] = j
@@ -333,6 +360,7 @@ func (s *Server) newJobID() string {
 // registerSweep stores a sweep, evicting the oldest finished sweeps past
 // MaxSweeps.
 func (s *Server) registerSweep(sw *Sweep) {
+	s.metrics.sweepsSubmitted.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweeps[sw.id] = sw
@@ -405,6 +433,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if res, trace, islandEvals, report, ok := s.cache.get(key); ok {
 			j := newCachedJob(id, spec, key, res, trace, islandEvals, report)
 			s.register(j)
+			s.logger.Info("job replayed from cache", "job", id)
 			writeJSON(w, http.StatusOK, j.status())
 			return
 		}
@@ -430,6 +459,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.Cancel()
 		}
 		s.register(j)
+		s.logger.Info("job accepted",
+			"job", id, "algorithm", spec.Algorithm, "budget", spec.Budget, "seeds", spec.Seeds)
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
 		j.cancel() // release the context registered on baseCtx
@@ -620,6 +651,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("sweep-%06d", s.nextSweep.Add(1))
 	sw := newSweep(id, scs, req.NoCache, s.baseCtx)
 	s.registerSweep(sw)
+	s.logger.Info("sweep accepted", "sweep", id, "cells", len(scs))
 	go s.runSweep(sw)
 	writeJSON(w, http.StatusAccepted, sw.status())
 }
@@ -698,31 +730,22 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	// Read the folded counter BEFORE scanning the jobs: a job folding
-	// mid-scan is then skipped by unfoldedEvals and not yet in done —
-	// a transient undercount, never a double count.
-	done := s.evalsDone.Load()
+	// One source of truth with /metrics: the folded obs counter is read
+	// BEFORE scanning the jobs (inside totalEvalsNow), so a job folding
+	// mid-scan is a transient undercount, never a double count.
+	total := s.totalEvalsNow()
 	s.mu.Lock()
 	counts := make(map[State]int)
-	unfolded := int64(0)
 	for _, j := range s.jobs {
 		counts[j.currentState()]++
-		// Live jobs report their progress counters; finished jobs count
-		// here until their worker folds them into evalsDone.
-		unfolded += int64(j.unfoldedEvals())
 	}
 	s.mu.Unlock()
 	status := "ok"
 	if s.closed.Load() {
 		status = "shutting down"
 	}
-	total := done + unfolded
 	uptime := time.Since(s.started).Seconds()
-	// Clamp the denominator to one second: right after startup the true
-	// uptime is near zero and a plain division would report an absurd
-	// throughput spike (a fast cached burst could read as millions of
-	// evals/sec), which poisons dashboards and autoscaling signals.
-	perSec := float64(total) / math.Max(uptime, 1)
+	perSec := s.evalsPerSec(total)
 	writeJSON(w, http.StatusOK, Health{
 		Status:        status,
 		Version:       version.String(),

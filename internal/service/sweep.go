@@ -394,7 +394,10 @@ func (s *Server) runSweep(sw *Sweep) {
 		return
 	}
 	defer sw.cancel() // release the sweep context resources
-	defer sw.finish()
+	defer func() {
+		sw.finish()
+		s.logger.Info("sweep finished", "sweep", sw.id, "state", sw.currentState())
+	}()
 
 	byKey := make(map[string]*Job, len(sw.cells))
 	for i, sc := range sw.cells {
