@@ -12,12 +12,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"phonocmap"
+	"phonocmap/internal/core"
 	"phonocmap/internal/version"
 )
 
@@ -33,6 +36,12 @@ type perfReport struct {
 	// SwapEval compares full re-evaluation against the incremental
 	// delta engine on the swap-and-score hot path.
 	SwapEval []swapEvalPerf `json:"swap_eval"`
+	// ParallelEval is the batch-evaluation scaling curve: aggregate
+	// evals/sec through Context.EvaluateBatch at increasing worker
+	// counts on the densest swap-eval case. Results are bit-identical
+	// at every worker count; only throughput changes with workers (and
+	// only on multi-core runners — on one core the curve is flat).
+	ParallelEval []parallelEvalPerf `json:"parallel_eval"`
 	// Algorithms is end-to-end optimizer throughput, one full run per
 	// algorithm at the same budget and seed.
 	Algorithms []algoPerf `json:"algorithms"`
@@ -49,6 +58,15 @@ type swapEvalPerf struct {
 	Speedup           float64 `json:"speedup"`
 	SwapsMeasuredFull int     `json:"swaps_measured_full"`
 	SwapsMeasuredIncr int     `json:"swaps_measured_incremental"`
+}
+
+// parallelEvalPerf is one point of the batch-evaluation scaling curve.
+type parallelEvalPerf struct {
+	Case          string  `json:"case"`
+	Workers       int     `json:"workers"`
+	EvalsMeasured int     `json:"evals_measured"`
+	EvalsPerSec   float64 `json:"evals_per_sec"`
+	SpeedupVsOne  float64 `json:"speedup_vs_1_worker"`
 }
 
 // algoPerf is one optimizer run: evaluations per second through the
@@ -102,6 +120,28 @@ func cmdPerf(args []string) error {
 		rep.SwapEval = append(rep.SwapEval, r)
 	}
 
+	// Scaling curve on the densest case, at 1/2/4/NumCPU workers.
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(workerCounts)
+	last := swapCases[len(swapCases)-1]
+	seen := map[int]bool{}
+	for _, workers := range workerCounts {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		r, err := measureParallelEval(last.name, last.side, last.tasks, last.edges, *seed, workers, *minTime)
+		if err != nil {
+			return fmt.Errorf("parallel-eval %s x%d: %w", last.name, workers, err)
+		}
+		rep.ParallelEval = append(rep.ParallelEval, r)
+	}
+	for i := range rep.ParallelEval {
+		if base := rep.ParallelEval[0].EvalsPerSec; base > 0 {
+			rep.ParallelEval[i].SpeedupVsOne = rep.ParallelEval[i].EvalsPerSec / base
+		}
+	}
+
 	for _, algo := range splitList(*algos) {
 		r, err := measureAlgo(*app, algo, *budget, *seed)
 		if err != nil {
@@ -130,9 +170,16 @@ func cmdPerf(args []string) error {
 	return nil
 }
 
+// minSwapsPerCase is the floor on measured swaps per case and path.
+// Time-window-only measurement undersampled expensive cases — the 8x8
+// full-eval figure was once derived from just 128 swaps, mostly warm-up
+// — so the loops now run until BOTH the window and this count are
+// satisfied.
+const minSwapsPerCase = 1024
+
 // measureSwapEval times the swap-and-score hot path both ways on one
 // dense random CG, repeating a fixed 4096-swap sequence until the
-// measurement window fills.
+// measurement window fills and at least minSwapsPerCase swaps ran.
 func measureSwapEval(name string, side, tasks, edges int, seed int64, minTime time.Duration) (swapEvalPerf, error) {
 	rng := rand.New(rand.NewSource(seed))
 	app, err := phonocmap.RandomApp(rng, tasks, edges)
@@ -181,7 +228,7 @@ func measureSwapEval(name string, side, tasks, edges int, seed int64, minTime ti
 	const checkEvery = 64
 	fullOps := 0
 	start := time.Now()
-	for time.Since(start) < minTime {
+	for fullOps < minSwapsPerCase || time.Since(start) < minTime {
 		for k := 0; k < checkEvery; k++ {
 			s := seq[fullOps%len(seq)]
 			ta, tb := taskOf[s.a], taskOf[s.b]
@@ -208,7 +255,7 @@ func measureSwapEval(name string, side, tasks, edges int, seed int64, minTime ti
 	}
 	incrOps := 0
 	start = time.Now()
-	for time.Since(start) < minTime {
+	for incrOps < minSwapsPerCase || time.Since(start) < minTime {
 		for k := 0; k < checkEvery; k++ {
 			s := seq[incrOps%len(seq)]
 			if _, err := sess.EvaluateSwap(s.a, s.b); err != nil {
@@ -228,6 +275,83 @@ func measureSwapEval(name string, side, tasks, edges int, seed int64, minTime ti
 	}
 	if fullRate > 0 {
 		out.Speedup = incrRate / fullRate
+	}
+	return out, nil
+}
+
+// measureParallelEval times Context.EvaluateBatch — the production
+// population-evaluation path, deterministic reduction included — on
+// batches of GA-offspring-like candidates at a fixed worker count.
+func measureParallelEval(name string, side, tasks, edges int, seed int64, workers int, minTime time.Duration) (parallelEvalPerf, error) {
+	rng := rand.New(rand.NewSource(seed))
+	app, err := phonocmap.RandomApp(rng, tasks, edges)
+	if err != nil {
+		return parallelEvalPerf{}, err
+	}
+	net, err := phonocmap.NewMeshNetwork(side, side)
+	if err != nil {
+		return parallelEvalPerf{}, err
+	}
+	prob, err := phonocmap.NewProblem(app, net, phonocmap.MaximizeSNR)
+	if err != nil {
+		return parallelEvalPerf{}, err
+	}
+	// Candidate batch: 256 single-swap neighbors of a base mapping —
+	// the shape EvaluateBatch sees from the batched searchers.
+	base, err := phonocmap.RandomMapping(prob, rng)
+	if err != nil {
+		return parallelEvalPerf{}, err
+	}
+	numTiles := net.NumTiles()
+	taskOf := make([]int, numTiles)
+	for t := range taskOf {
+		taskOf[t] = -1
+	}
+	for task, tile := range base {
+		taskOf[tile] = task
+	}
+	batch := make([]core.Mapping, 0, 256)
+	for len(batch) < cap(batch) {
+		a := rng.Intn(numTiles)
+		b := rng.Intn(numTiles)
+		if a == b || (taskOf[a] < 0 && taskOf[b] < 0) {
+			continue
+		}
+		cand := base.Clone()
+		if ta := taskOf[a]; ta >= 0 {
+			cand[ta] = phonocmap.TileID(b)
+		}
+		if tb := taskOf[b]; tb >= 0 {
+			cand[tb] = phonocmap.TileID(a)
+		}
+		batch = append(batch, cand)
+	}
+
+	ctx, err := core.NewContext(prob, rng, math.MaxInt/2)
+	if err != nil {
+		return parallelEvalPerf{}, err
+	}
+	defer ctx.Close()
+	ctx.SetEvalWorkers(workers)
+	// Warm the pool (seats the per-worker sessions) outside the window.
+	if _, _, err := ctx.EvaluateBatch(batch); err != nil {
+		return parallelEvalPerf{}, err
+	}
+
+	evals := 0
+	start := time.Now()
+	for evals < minSwapsPerCase || time.Since(start) < minTime {
+		_, n, err := ctx.EvaluateBatch(batch)
+		if err != nil {
+			return parallelEvalPerf{}, err
+		}
+		evals += n
+	}
+	out := parallelEvalPerf{
+		Case: name, Workers: workers, EvalsMeasured: evals,
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		out.EvalsPerSec = float64(evals) / secs
 	}
 	return out, nil
 }

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	phonocmap-serve [-addr :8080] [-workers N] [-queue 64] [-cache 256]
-//	                [-log-level info] [-debug-addr :6060]
+//	phonocmap-serve [-addr :8080] [-workers N] [-eval-workers 1] [-queue 64]
+//	                [-cache 256] [-log-level info] [-debug-addr :6060]
 //
 // Example session:
 //
@@ -71,6 +71,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	evalWorkers := flag.Int("eval-workers", 1, "evaluation workers per run (never changes results, only throughput)")
 	queue := flag.Int("queue", 64, "job queue capacity")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
 	maxBudget := flag.Int("max-budget", 5_000_000, "largest accepted per-seed evaluation budget")
@@ -112,6 +113,7 @@ func main() {
 	srv := service.New(service.Config{
 		Addr:          *addr,
 		Workers:       *workers,
+		EvalWorkers:   *evalWorkers,
 		QueueSize:     *queue,
 		CacheSize:     *cache,
 		MaxBudget:     *maxBudget,
@@ -123,7 +125,8 @@ func main() {
 	cfg := srv.Config()
 	logger.Info("phonocmap-serve listening",
 		"version", version.String(), "addr", cfg.Addr,
-		"workers", cfg.Workers, "queue", cfg.QueueSize, "cache", cfg.CacheSize)
+		"workers", cfg.Workers, "eval_workers", cfg.EvalWorkers,
+		"queue", cfg.QueueSize, "cache", cfg.CacheSize)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		logger.Error("phonocmap-serve failed", "error", err)
 		os.Exit(1)

@@ -136,6 +136,7 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 	budget := fs.Int("budget", 20000, "evaluation budget")
 	seed := fs.Int64("seed", 1, "random seed")
 	seeds := fs.Int("seeds", 1, "island count: > 1 runs that many seeded searches and keeps the best")
+	evalWorkers := fs.Int("eval-workers", 1, "evaluation workers per run (never changes results, only throughput; 0 = keep process default)")
 	analysesFile := fs.String("analyses", "", "post-optimization analyses JSON file (wdm, power, robustness, link_failures, sim)")
 	out := fs.String("out", "", "write the result as JSON to this file")
 	server := fs.String("server", "", "phonocmap-serve URL to execute on (default: in-process)")
@@ -145,6 +146,13 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 			return scenario.Spec{}, nil, "", "", err
 		}
 		return scenario.Spec{}, nil, "", "", fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	// Worker count is deliberately not part of the scenario spec: it can
+	// never change a result (sequential and parallel evaluation are
+	// bit-identical), so it must not participate in normalization or
+	// cache keys. It only tunes this process's evaluation throughput.
+	if *evalWorkers > 0 {
+		core.SetDefaultEvalWorkers(*evalWorkers)
 	}
 
 	var spec scenario.Spec

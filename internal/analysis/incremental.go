@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"phonocmap/internal/network"
 	"phonocmap/internal/photonic"
@@ -49,8 +50,11 @@ type Incremental struct {
 	comms []Communication
 	paths []*network.Path
 	// weights, when non-nil, turn AvgLossDB into a weighted mean (set by
-	// InitWeighted, constant across deltas).
-	weights []float64
+	// InitWeighted, constant across deltas). weightsBuf is the reusable
+	// backing store weights points into, so re-Init on a pooled engine
+	// copies instead of allocating.
+	weights    []float64
+	weightsBuf []float64
 
 	// occupants[elem] lists the communications traversing the element.
 	// everOccupied tracks which elements have ever held an entry so Init
@@ -84,21 +88,65 @@ type Incremental struct {
 	undoRes     Result
 }
 
-// NewIncremental returns an incremental evaluator for the network. Call
-// Init before anything else.
+// incPool recycles released engines: the occupancy map and the
+// per-victim accumulator slices dominate the cost of standing up an
+// Incremental, and swap-session pools, sweep cells and service jobs
+// create one engine per session. Pooled engines are re-adopted onto
+// whatever network the next NewIncremental asks for.
+var incPool sync.Pool
+
+// NewIncremental returns an incremental evaluator for the network,
+// reusing a released engine's buffers when one is pooled. Call Init
+// before anything else.
 func NewIncremental(nw *network.Network) *Incremental {
+	if v := incPool.Get(); v != nil {
+		inc := v.(*Incremental)
+		inc.adopt(nw)
+		return inc
+	}
 	inc := &Incremental{
 		nw:         nw,
 		occupants:  make([][]occupant, nw.NumElements()),
 		inOccupied: make([]bool, nw.NumElements()),
 	}
-	p := nw.Params()
+	inc.loadLeakTable()
+	return inc
+}
+
+// adopt re-seats a pooled engine on a network. Buffers are kept when
+// the element count matches (Init clears stale occupancy through
+// everOccupied); otherwise the occupancy map is rebuilt at the new
+// size.
+func (inc *Incremental) adopt(nw *network.Network) {
+	if inc.nw == nw {
+		return
+	}
+	if ne := nw.NumElements(); len(inc.occupants) != ne {
+		inc.occupants = make([][]occupant, ne)
+		inc.inOccupied = make([]bool, ne)
+		inc.everOccupied = inc.everOccupied[:0]
+	}
+	inc.nw = nw
+	inc.loadLeakTable()
+}
+
+func (inc *Incremental) loadLeakTable() {
+	p := inc.nw.Params()
 	for _, k := range []photonic.Kind{photonic.Crossing, photonic.PPSE, photonic.CPSE} {
 		for _, s := range []photonic.State{photonic.Off, photonic.On} {
 			inc.leakLin[k][s] = photonic.DBToLinear(p.LeakCoeff(k, s))
 		}
 	}
-	return inc
+}
+
+// Release returns the engine's buffers to the package pool for reuse by
+// a future NewIncremental. The engine must not be used afterwards; the
+// caller gives up its reference.
+func (inc *Incremental) Release() {
+	inc.inited = false
+	inc.undoValid = false
+	inc.weights = nil
+	incPool.Put(inc)
 }
 
 // Network returns the evaluated network.
@@ -128,9 +176,8 @@ func (inc *Incremental) InitWeighted(comms []Communication, weights []float64) (
 	if sum <= 0 {
 		return Result{}, fmt.Errorf("analysis: weights sum to %v, need > 0", sum)
 	}
-	ws := make([]float64, len(weights))
-	copy(ws, weights)
-	return inc.init(comms, ws)
+	inc.weightsBuf = append(inc.weightsBuf[:0], weights...)
+	return inc.init(comms, inc.weightsBuf)
 }
 
 func (inc *Incremental) init(comms []Communication, weights []float64) (Result, error) {

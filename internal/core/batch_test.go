@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"phonocmap/internal/cg"
+	"phonocmap/internal/topo"
+)
+
+// batchTestProblem builds a 12-task app on a 4x4 mesh (4 spare tiles).
+func batchTestProblem(t *testing.T, obj Objective) *Problem {
+	t.Helper()
+	rngApp := rand.New(rand.NewSource(7))
+	app, err := cg.RandomConnected(rngApp, 12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := swapTestNet(t, false, 4, 4)
+	prob, err := NewProblem(app, nw, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+// ledger records the observable evaluation sequence of a context: every
+// OnEvaluate and OnImprove event in order.
+type ledger struct {
+	evalScores   []Score
+	improveEvals []int
+	improves     []Score
+}
+
+func (l *ledger) attach(ctx *Context) {
+	ctx.OnEvaluate = func(_ Mapping, s Score) { l.evalScores = append(l.evalScores, s) }
+	ctx.OnImprove = func(evals int, s Score) {
+		l.improveEvals = append(l.improveEvals, evals)
+		l.improves = append(l.improves, s)
+	}
+}
+
+func (l *ledger) equal(o *ledger) bool {
+	if len(l.evalScores) != len(o.evalScores) || len(l.improves) != len(o.improves) {
+		return false
+	}
+	for i := range l.evalScores {
+		if l.evalScores[i] != o.evalScores[i] {
+			return false
+		}
+	}
+	for i := range l.improves {
+		if l.improves[i] != o.improves[i] || l.improveEvals[i] != o.improveEvals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvaluateBatchMatchesSequential: for every objective and worker
+// count, EvaluateBatch over a candidate list reproduces the exact
+// observable behavior of a sequential ctx.Evaluate loop — same scores,
+// same eval counts, same incumbent, same callback sequences — including
+// when the budget truncates the batch.
+func TestEvaluateBatchMatchesSequential(t *testing.T) {
+	for _, obj := range []Objective{MinimizeLoss, MaximizeSNR, MinimizeWeightedLoss} {
+		prob := batchTestProblem(t, obj)
+		for _, budget := range []int{200, 37} { // 37: truncation mid-batch
+			rng := rand.New(rand.NewSource(11))
+			cands := make([]Mapping, 50)
+			for i := range cands {
+				m, err := RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+				if err != nil {
+					t.Fatal(err)
+				}
+				cands[i] = m
+			}
+
+			seqCtx, err := NewContext(prob.Clone(), rand.New(rand.NewSource(1)), budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seqLedger ledger
+			seqLedger.attach(seqCtx)
+			var seqScores []Score
+			for _, m := range cands {
+				s, ok, err := seqCtx.Evaluate(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				seqScores = append(seqScores, s)
+			}
+
+			for _, workers := range []int{1, 2, 4, 7} {
+				ctx, err := NewContext(prob.Clone(), rand.New(rand.NewSource(1)), budget)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx.SetEvalWorkers(workers)
+				var l ledger
+				l.attach(ctx)
+				scores, n, err := ctx.EvaluateBatch(cands)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx.Close()
+
+				if n != len(seqScores) {
+					t.Fatalf("%s budget %d workers %d: batch scored %d, sequential %d", obj, budget, workers, n, len(seqScores))
+				}
+				for i := 0; i < n; i++ {
+					if scores[i] != seqScores[i] {
+						t.Fatalf("%s budget %d workers %d: score[%d] %+v != sequential %+v", obj, budget, workers, i, scores[i], seqScores[i])
+					}
+				}
+				if ctx.Evals() != seqCtx.Evals() {
+					t.Errorf("%s budget %d workers %d: evals %d != sequential %d", obj, budget, workers, ctx.Evals(), seqCtx.Evals())
+				}
+				gm, gs, gok := ctx.Best()
+				wm, ws, wok := seqCtx.Best()
+				if gok != wok || gs != ws || !gm.Equal(wm) {
+					t.Errorf("%s budget %d workers %d: incumbent (%v,%+v,%t) != sequential (%v,%+v,%t)", obj, budget, workers, gm, gs, gok, wm, ws, wok)
+				}
+				if !l.equal(&seqLedger) {
+					t.Errorf("%s budget %d workers %d: callback ledger diverged from sequential", obj, budget, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchEdgeCases pins the empty-batch, exhausted-budget and
+// repeated-batch behaviors.
+func TestEvaluateBatchEdgeCases(t *testing.T) {
+	prob := batchTestProblem(t, MinimizeLoss)
+	rng := rand.New(rand.NewSource(3))
+	ctx, err := NewContext(prob, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	ctx.SetEvalWorkers(4)
+
+	if scores, n, err := ctx.EvaluateBatch(nil); err != nil || n != 0 || scores != nil {
+		t.Fatalf("empty batch: got (%v, %d, %v)", scores, n, err)
+	}
+
+	m := ctx.RandomMapping()
+	batch := []Mapping{m, m, m, m, m, m}
+	if _, n, err := ctx.EvaluateBatch(batch); err != nil || n != 6 {
+		t.Fatalf("first batch: n=%d err=%v", n, err)
+	}
+	// 4 budget units remain: the next batch truncates.
+	if _, n, err := ctx.EvaluateBatch(batch); err != nil || n != 4 {
+		t.Fatalf("truncated batch: n=%d err=%v, want n=4", n, err)
+	}
+	if !ctx.Exhausted() {
+		t.Fatal("budget should be exhausted")
+	}
+	if _, n, err := ctx.EvaluateBatch(batch); err != nil || n != 0 {
+		t.Fatalf("exhausted batch: n=%d err=%v, want n=0", n, err)
+	}
+	if ctx.Evals() != 10 {
+		t.Fatalf("evals = %d, want exactly the budget 10", ctx.Evals())
+	}
+}
+
+// TestEvaluateBatchWorkerCountIsNotIdentity: distinct contexts may pick
+// different worker counts mid-run; SetEvalWorkers(0) falls back to the
+// process default, and the pool grows when the count rises.
+func TestEvaluateBatchWorkerGrowth(t *testing.T) {
+	prob := batchTestProblem(t, MinimizeLoss)
+	ctx, err := NewContext(prob, rand.New(rand.NewSource(5)), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	mk := func(k int) []Mapping {
+		out := make([]Mapping, k)
+		for i := range out {
+			out[i] = ctx.RandomMapping()
+		}
+		return out
+	}
+	ctx.SetEvalWorkers(1)
+	if _, n, err := ctx.EvaluateBatch(mk(8)); err != nil || n != 8 {
+		t.Fatalf("1-worker batch: n=%d err=%v", n, err)
+	}
+	ctx.SetEvalWorkers(6)
+	if _, n, err := ctx.EvaluateBatch(mk(16)); err != nil || n != 16 {
+		t.Fatalf("6-worker batch after growth: n=%d err=%v", n, err)
+	}
+	if got := ctx.EvalWorkers(); got != 6 {
+		t.Fatalf("EvalWorkers = %d, want 6", got)
+	}
+	ctx.SetEvalWorkers(0)
+	if got, want := ctx.EvalWorkers(), DefaultEvalWorkers(); got != want {
+		t.Fatalf("EvalWorkers after reset = %d, want process default %d", got, want)
+	}
+}
+
+// TestSwapSessionPoolConcurrentHammer exercises the documented sibling
+// concurrency contract under the race detector: many sessions of one
+// Problem running EvaluateSwap/Commit/Revert/Reseat interleavings
+// concurrently, each verifying every score against a private
+// full-evaluation reference.
+func TestSwapSessionPoolConcurrentHammer(t *testing.T) {
+	prob := batchTestProblem(t, MaximizeSNR)
+	const workers = 8
+	const steps = 150
+
+	pool, err := NewSwapSessionPool(prob, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Release()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			ref := prob.Clone() // private full evaluator
+			m, err := RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+			if err != nil {
+				errc <- err
+				return
+			}
+			if _, err := pool.Evaluate(w, m); err != nil {
+				errc <- err
+				return
+			}
+			sess := pool.sess[w]
+			numTiles := prob.NumTiles()
+			for step := 0; step < steps; step++ {
+				switch step % 5 {
+				case 4:
+					// Reseat on a fresh mapping through the pool.
+					fresh, err := RandomMapping(rng, prob.NumTasks(), numTiles)
+					if err != nil {
+						errc <- err
+						return
+					}
+					got, err := pool.Evaluate(w, fresh)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := ref.Evaluate(fresh)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got != want {
+						t.Errorf("worker %d step %d: reseat %+v != full %+v", w, step, got, want)
+						return
+					}
+				default:
+					a := topo.TileID(rng.Intn(numTiles))
+					b := topo.TileID(rng.Intn(numTiles))
+					got, err := sess.EvaluateSwap(a, b)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := ref.Evaluate(sess.Mapping())
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got != want {
+						t.Errorf("worker %d step %d: swap(%d,%d) %+v != full %+v", w, step, a, b, got, want)
+						return
+					}
+					if step%2 == 0 {
+						sess.Commit()
+					} else if err := sess.Revert(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapEvalAllocationFree pins the allocation budget of the
+// incremental hot path: steady-state EvaluateSwap+Revert and
+// small-delta Reseat must not allocate at all. This is the in-tree
+// anchor of the CI -benchmem gate.
+func TestSwapEvalAllocationFree(t *testing.T) {
+	prob := batchTestProblem(t, MinimizeLoss)
+	rng := rand.New(rand.NewSource(17))
+	m, err := RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := prob.NewSwapSession(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Release()
+	numTiles := prob.NumTiles()
+
+	// Warm up: let every lazily-grown scratch buffer reach steady state.
+	for i := 0; i < 64; i++ {
+		a := topo.TileID(rng.Intn(numTiles))
+		b := topo.TileID(rng.Intn(numTiles))
+		if _, err := sess.EvaluateSwap(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Revert(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		a := topo.TileID(rng.Intn(numTiles))
+		b := topo.TileID(rng.Intn(numTiles))
+		if _, err := sess.EvaluateSwap(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Revert(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("EvaluateSwap+Revert allocates %.1f objects per op, want 0", allocs)
+	}
+
+	// Single-swap Reseat (the batch path's steady state) must be
+	// allocation-free too.
+	cur := sess.Mapping().Clone()
+	next := cur.Clone()
+	allocs = testing.AllocsPerRun(200, func() {
+		a := rng.Intn(len(next))
+		b := rng.Intn(len(next))
+		next[a], next[b] = next[b], next[a]
+		if _, err := sess.Reseat(next); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("single-swap Reseat allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestIncrementalPoolRecycles: a released session's engine is reused by
+// the next session over the same network shape, so standing sessions up
+// in a loop stops allocating engine-sized buffers.
+func TestIncrementalPoolRecycles(t *testing.T) {
+	prob := batchTestProblem(t, MinimizeLoss)
+	rng := rand.New(rand.NewSource(23))
+	m, err := RandomMapping(rng, prob.NumTasks(), prob.NumTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := prob.Clone()
+	want, err := ref.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle sessions through the pool; scores must stay exact.
+	for i := 0; i < 10; i++ {
+		sess, err := prob.NewSwapSession(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sess.Score() != want {
+			t.Fatalf("cycle %d: pooled session score %+v != full %+v", i, sess.Score(), want)
+		}
+		sess.Release()
+	}
+}

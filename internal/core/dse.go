@@ -55,6 +55,11 @@ type Options struct {
 	// ProgressEvery sets the OnProgress stride; 0 means every 500
 	// evaluations.
 	ProgressEvery int
+	// EvalWorkers sets the run's EvaluateBatch worker count; 0 follows
+	// the process-wide default (SetDefaultEvalWorkers). Worker count
+	// never changes results — sequential and parallel runs are
+	// bit-identical under equal seeds.
+	EvalWorkers int
 }
 
 // Exploration is the DSE engine of the paper's architecture (Figure 1,
@@ -97,6 +102,8 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 		return RunResult{}, err
 	}
 	ctx.SetCancel(e.opts.Context)
+	ctx.SetEvalWorkers(e.opts.EvalWorkers)
+	defer ctx.Close()
 	if e.opts.Trace || e.opts.OnImprove != nil {
 		name := s.Name()
 		trace := e.opts.Trace

@@ -38,13 +38,23 @@ func (m Mapping) Equal(o Mapping) bool {
 
 // Validate checks Eqs. 5 and 6 against a network of numTiles tiles.
 func (m Mapping) Validate(numTiles int) error {
+	return m.validate(numTiles, make([]bool, numTiles))
+}
+
+// validate is Validate with caller-owned scratch (len >= numTiles,
+// cleared here) so per-evaluation validation on the hot path does not
+// allocate.
+func (m Mapping) validate(numTiles int, seen []bool) error {
 	if len(m) == 0 {
 		return fmt.Errorf("core: empty mapping")
 	}
 	if len(m) > numTiles {
 		return fmt.Errorf("core: %d tasks exceed %d tiles (Eq. 2 violated)", len(m), numTiles)
 	}
-	seen := make([]bool, numTiles)
+	seen = seen[:numTiles]
+	for i := range seen {
+		seen[i] = false
+	}
 	for task, tile := range m {
 		if tile < 0 || int(tile) >= numTiles {
 			return fmt.Errorf("core: task %d mapped to invalid tile %d", task, tile)

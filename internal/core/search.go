@@ -51,6 +51,14 @@ type Context struct {
 	// StartSwaps/AttachSwaps and driven by EvaluateSwap; nil until a
 	// searcher opts into the incremental path.
 	sess *SwapSession
+	// evalWorkers, when > 0, overrides the process-wide default worker
+	// count for EvaluateBatch (see SetEvalWorkers in batch.go).
+	evalWorkers int
+	// batchPool holds the per-worker sessions of EvaluateBatch, created
+	// lazily on the first batch and released by Close.
+	batchPool *SwapSessionPool
+	// batchScores is EvaluateBatch's reusable result slab.
+	batchScores []Score
 }
 
 // NewContext prepares an optimization run with the given evaluation
@@ -122,7 +130,9 @@ func (c *Context) account(m Mapping, s Score) {
 		c.OnEvaluate(m, s)
 	}
 	if !c.hasBest || s.Better(c.bestScore) {
-		c.best = m.Clone()
+		// The incumbent slab is reused across improvements (Best clones on
+		// the way out), so a long run allocates for its best mapping once.
+		c.best = append(c.best[:0], m...)
 		c.bestScore = s
 		c.hasBest = true
 		if c.OnImprove != nil {

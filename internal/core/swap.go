@@ -22,7 +22,11 @@ import (
 // EvaluateSwap applies a tentative swap and scores it; the caller then
 // either Commit()s (keep the move) or Revert()s (restore the previous
 // state exactly). A session is single-tentative: resolve each swap before
-// the next call. Like Problem, a session is not safe for concurrent use.
+// the next call. Like Problem, a session is not safe for concurrent use —
+// but sibling sessions of the same Problem may run concurrently with each
+// other: a session reads only the problem's immutable data (edges,
+// incidence lists, objective) and the immutable network, never the
+// problem's own evaluator scratch. SwapSessionPool builds on this.
 type SwapSession struct {
 	prob *Problem
 	inc  *analysis.Incremental
@@ -40,6 +44,7 @@ type SwapSession struct {
 	newComms   []analysis.Communication
 	edgeSeen   []bool
 	reseatPrev Mapping // pre-Reseat mapping, for error restoration
+	seenTiles  []bool  // Reseat validation scratch
 }
 
 // NewSwapSession evaluates m in full through the incremental engine and
@@ -52,11 +57,12 @@ func (p *Problem) NewSwapSession(m Mapping) (*SwapSession, error) {
 		return nil, err
 	}
 	ss := &SwapSession{
-		prob:     p,
-		inc:      analysis.NewIncremental(p.nw),
-		m:        m.Clone(),
-		taskOf:   make([]int, p.nw.NumTiles()),
-		edgeSeen: make([]bool, len(p.edges)),
+		prob:      p,
+		inc:       analysis.NewIncremental(p.nw),
+		m:         m.Clone(),
+		taskOf:    make([]int, p.nw.NumTiles()),
+		edgeSeen:  make([]bool, len(p.edges)),
+		seenTiles: make([]bool, p.nw.NumTiles()),
 	}
 	for t := range ss.taskOf {
 		ss.taskOf[t] = -1
@@ -86,6 +92,17 @@ func (p *Problem) NewSwapSession(m Mapping) (*SwapSession, error) {
 
 // Problem returns the problem the session evaluates against.
 func (ss *SwapSession) Problem() *Problem { return ss.prob }
+
+// Release returns the session's incremental engine to the analysis
+// package's buffer pool, so the next session stood up anywhere in the
+// process reuses its occupancy map and accumulators instead of
+// allocating fresh ones. The session must not be used afterwards.
+func (ss *SwapSession) Release() {
+	if ss.inc != nil {
+		ss.inc.Release()
+		ss.inc = nil
+	}
+}
 
 // Score returns the score of the current (tentative included) mapping.
 func (ss *SwapSession) Score() Score { return ss.score }
@@ -174,7 +191,7 @@ func (ss *SwapSession) Reseat(m Mapping) (Score, error) {
 	if len(m) != len(ss.m) {
 		return Score{}, fmt.Errorf("core: mapping covers %d tasks, app has %d", len(m), len(ss.m))
 	}
-	if err := m.Validate(len(ss.taskOf)); err != nil {
+	if err := m.validate(len(ss.taskOf), ss.seenTiles); err != nil {
 		return Score{}, err
 	}
 	ss.changed = ss.changed[:0]

@@ -2,6 +2,7 @@ package search
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -9,17 +10,18 @@ import (
 	"phonocmap/internal/topo"
 )
 
-// This file proves the incremental-path rewrite of the searchers changed
-// no search behavior: refSA, refTabu, refRPBLA, refMemetic and refGA are
-// verbatim copies of the searchers' pre-rewrite control flow — every
-// candidate scored through ctx.Evaluate, i.e. a full from-scratch
-// evaluation — and the tests assert that the live searchers reproduce
-// their RunResult (Mapping, Score, Evals) exactly under equal seeds.
-// (Exception: refGA carries the same clone-score-inheritance budget fix
-// as the live GA — an unmutated clone child reuses its parent's cached
-// score instead of re-spending a budget unit — so the pair still proves
-// full-vs-incremental evaluation-path equivalence under the corrected
-// accounting.)
+// This file proves the evaluation-path rewrites of the searchers changed
+// no search behavior. refSA, refTabu and refRPBLA are verbatim copies of
+// the searchers' pre-incremental control flow — every candidate scored
+// through ctx.Evaluate, i.e. a full from-scratch evaluation. refGA and
+// refMemetic mirror the batched searchers' control flow (breed or draft
+// the whole round first, then score) but evaluate every candidate
+// sequentially through ctx.Evaluate with allocating helpers — the
+// reference ledger Context.EvaluateBatch must reproduce. The tests
+// assert that the live searchers reproduce the references' RunResult
+// (Mapping, Score, Evals) exactly under equal seeds, and
+// TestBatchedSearchersWorkerCountInvariant extends that to every eval
+// worker count.
 //
 // Both sides run against the same Evaluator, so what is proven is
 // strategy equivalence: identical candidate sequences, identical RNG
@@ -228,10 +230,58 @@ func (r refRPBLA) Search(ctx *core.Context) error {
 	return nil
 }
 
+// clonePerm and pmx are the allocating reference forms the production
+// GA used before the slab rewrite; refGA (and gaCloneReeval in
+// search_test.go) keep using them so the references stay independent of
+// the production scratch-buffer code they are checking.
+func clonePerm(p []topo.TileID) []topo.TileID {
+	c := make([]topo.TileID, len(p))
+	copy(c, p)
+	return c
+}
+
+// pmx is map-based partially mapped crossover: the reference form of
+// pmxInto, with identical RNG draws and output (pinned by
+// TestPMXIntoMatchesReference).
+func pmx(rng *rand.Rand, a, b []topo.TileID) []topo.TileID {
+	n := len(a)
+	child := make([]topo.TileID, n)
+	lo := rng.Intn(n)
+	hi := rng.Intn(n)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	inSegment := make(map[topo.TileID]bool, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		inSegment[a[i]] = true
+	}
+	posInA := make(map[topo.TileID]int, n)
+	for i, v := range a {
+		posInA[v] = i
+	}
+	for i := 0; i < n; i++ {
+		if i >= lo && i <= hi {
+			continue
+		}
+		v := b[i]
+		for inSegment[v] {
+			v = b[posInA[v]]
+		}
+		child[i] = v
+	}
+	return child
+}
+
 type refGA struct{ cfg *GA }
 
 func (g refGA) Name() string { return "ref-ga" }
 
+// refGA breeds exactly like the live GA — whole generation first, same
+// RNG draws — but scores every pending child sequentially through
+// ctx.Evaluate, in breeding order. This is the ledger EvaluateBatch
+// must reproduce: same scores, same eval counts, same incumbent
+// sequence, same truncation point on budget exhaustion.
 func (g refGA) Search(ctx *core.Context) error {
 	if err := g.cfg.validate(); err != nil {
 		return err
@@ -240,33 +290,36 @@ func (g refGA) Search(ctx *core.Context) error {
 	numTasks := ctx.Problem().NumTasks()
 	numTiles := ctx.Problem().NumTiles()
 
-	newIndividual := func() individual {
-		perm := make([]topo.TileID, numTiles)
-		for i, v := range rng.Perm(numTiles) {
-			perm[i] = topo.TileID(v)
-		}
-		return individual{perm: perm}
-	}
-	evaluate := func(ind *individual) (bool, error) {
-		if ind.valid {
-			return true, nil
-		}
-		s, ok, err := ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
-		if err != nil || !ok {
-			return ok, err
-		}
-		ind.score, ind.valid = s, true
-		return true, nil
-	}
-
 	pop := make([]individual, g.cfg.PopSize)
 	for i := range pop {
-		pop[i] = newIndividual()
-		if ok, err := evaluate(&pop[i]); err != nil {
-			return err
-		} else if !ok {
-			return nil
+		perm := make([]topo.TileID, numTiles)
+		for j, v := range rng.Perm(numTiles) {
+			perm[j] = topo.TileID(v)
 		}
+		pop[i] = individual{perm: perm}
+	}
+	// evaluatePending is the sequential counterpart of the live GA's
+	// batched flush.
+	evaluatePending := func(gen []individual) (bool, error) {
+		for i := range gen {
+			if gen[i].valid {
+				continue
+			}
+			s, ok, err := ctx.Evaluate(core.Mapping(gen[i].perm[:numTasks]))
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+			gen[i].score, gen[i].valid = s, true
+		}
+		return true, nil
+	}
+	if full, err := evaluatePending(pop); err != nil {
+		return err
+	} else if !full {
+		return nil
 	}
 
 	tournament := func() *individual {
@@ -304,14 +357,12 @@ func (g refGA) Search(ctx *core.Context) error {
 				child.perm[i], child.perm[j] = child.perm[j], child.perm[i]
 				child.valid = false
 			}
-			if !child.valid {
-				if ok, err := evaluate(&child); err != nil {
-					return err
-				} else if !ok {
-					return nil
-				}
-			}
 			next = append(next, child)
+		}
+		if full, err := evaluatePending(next); err != nil {
+			return err
+		} else if !full {
+			return nil
 		}
 		pop, next = next, pop
 		if ctx.Evals() == spentBefore && g.cfg.CrossoverRate == 0 && g.cfg.MutationRate == 0 {
@@ -325,6 +376,9 @@ type refMemetic struct{ cfg *Memetic }
 
 func (m refMemetic) Name() string { return "ref-memetic" }
 
+// refMemetic drafts each refinement leg's swap candidates exactly like
+// the live memetic — all RefineMoves draws against the incumbent base —
+// then scores them sequentially through ctx.Evaluate.
 func (m refMemetic) Search(ctx *core.Context) error {
 	if err := m.cfg.GA.validate(); err != nil {
 		return err
@@ -341,30 +395,32 @@ func (m refMemetic) Search(ctx *core.Context) error {
 		if err := ctx.WithBudgetSlice(burst, ga.Search); err != nil {
 			return err
 		}
-		best, bestScore, ok := ctx.Best()
+		best, _, ok := ctx.Best()
 		if !ok {
 			return nil
 		}
 		sl := newSlots(best, numTiles)
-		cur := bestScore
-		for i := 0; i < m.cfg.RefineMoves && !ctx.Exhausted(); i++ {
-			a := topo.TileID(rng.Intn(numTiles))
-			b := topo.TileID(rng.Intn(numTiles))
+		var cands []core.Mapping
+		for i := 0; i < m.cfg.RefineMoves; i++ {
+			a := rng.Intn(numTiles)
+			b := rng.Intn(numTiles)
 			if a == b || (sl.taskOf[a] < 0 && sl.taskOf[b] < 0) {
 				continue
 			}
-			sl.swapTiles(a, b)
-			s, evaluated, err := ctx.Evaluate(sl.mapping)
-			if err != nil {
+			cand := best.Clone()
+			if ta := sl.taskOf[a]; ta >= 0 {
+				cand[ta] = topo.TileID(b)
+			}
+			if tb := sl.taskOf[b]; tb >= 0 {
+				cand[tb] = topo.TileID(a)
+			}
+			cands = append(cands, cand)
+		}
+		for _, cand := range cands {
+			if _, evaluated, err := ctx.Evaluate(cand); err != nil {
 				return err
-			}
-			if !evaluated {
+			} else if !evaluated {
 				return nil
-			}
-			if s.Better(cur) {
-				cur = s
-			} else {
-				sl.swapTiles(a, b)
 			}
 		}
 	}
@@ -375,7 +431,13 @@ func (m refMemetic) Search(ctx *core.Context) error {
 // the standard Exploration seed derivation.
 func runSeeded(t *testing.T, prob *core.Problem, s core.Searcher, budget int, seed int64) core.RunResult {
 	t.Helper()
-	ex, err := core.NewExploration(prob.Clone(), core.Options{Budget: budget, Seed: seed})
+	return runSeededWorkers(t, prob, s, budget, seed, 0)
+}
+
+// runSeededWorkers is runSeeded with an explicit eval worker count.
+func runSeededWorkers(t *testing.T, prob *core.Problem, s core.Searcher, budget int, seed int64, workers int) core.RunResult {
+	t.Helper()
+	ex, err := core.NewExploration(prob.Clone(), core.Options{Budget: budget, Seed: seed, EvalWorkers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,6 +478,84 @@ func TestIncrementalSearchersMatchReference(t *testing.T) {
 				if got.Evals != want.Evals {
 					t.Errorf("%s/%s seed %d: evals %d != reference %d", p.name, obj, seed, got.Evals, want.Evals)
 				}
+			}
+		}
+	}
+}
+
+// TestBatchedSearchersWorkerCountInvariant is the parallel differential
+// proof: the batched searchers produce bit-identical results (Mapping,
+// Score, Evals) at every eval worker count, across all objectives —
+// worker count is a throughput knob, never a search parameter. The
+// sequential (1-worker) run doubles as the anchor back to the
+// sequential references via TestIncrementalSearchersMatchReference.
+func TestBatchedSearchersWorkerCountInvariant(t *testing.T) {
+	searchers := []struct {
+		name string
+		make func() core.Searcher
+	}{
+		{"ga", func() core.Searcher { return NewGA() }},
+		{"memetic", func() core.Searcher { return NewMemetic() }},
+	}
+	for _, obj := range []core.Objective{core.MinimizeLoss, core.MaximizeSNR, core.MinimizeWeightedLoss} {
+		prob := problem(t, "VOPD", 4, 4, obj)
+		for _, s := range searchers {
+			for _, seed := range []int64{1, 7} {
+				base := runSeededWorkers(t, prob, s.make(), 600, seed, 1)
+				for _, workers := range []int{2, 4, 7} {
+					got := runSeededWorkers(t, prob, s.make(), 600, seed, workers)
+					if !got.Mapping.Equal(base.Mapping) {
+						t.Errorf("%s/%s seed %d workers %d: mapping %v != sequential %v",
+							s.name, obj, seed, workers, got.Mapping, base.Mapping)
+					}
+					if got.Score != base.Score {
+						t.Errorf("%s/%s seed %d workers %d: score %+v != sequential %+v",
+							s.name, obj, seed, workers, got.Score, base.Score)
+					}
+					if got.Evals != base.Evals {
+						t.Errorf("%s/%s seed %d workers %d: evals %d != sequential %d",
+							s.name, obj, seed, workers, got.Evals, base.Evals)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPMXIntoMatchesReference: the slab-writing pmxInto draws the same
+// RNG values and produces the same child as the allocating map-based
+// reference, across sizes and seeds.
+func TestPMXIntoMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 64} {
+		for seed := int64(1); seed <= 20; seed++ {
+			gen := rand.New(rand.NewSource(seed * 31))
+			a := make([]topo.TileID, n)
+			b := make([]topo.TileID, n)
+			for i, v := range gen.Perm(n) {
+				a[i] = topo.TileID(v)
+			}
+			for i, v := range gen.Perm(n) {
+				b[i] = topo.TileID(v)
+			}
+			rngRef := rand.New(rand.NewSource(seed))
+			rngLive := rand.New(rand.NewSource(seed))
+			want := pmx(rngRef, a, b)
+			got := make([]topo.TileID, n)
+			inSegment := make([]bool, n)
+			posInA := make([]int, n)
+			pmxInto(rngLive, a, b, got, inSegment, posInA)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: pmxInto %v != pmx %v (parents %v, %v)", n, seed, got, want, a, b)
+				}
+			}
+			for i := range inSegment {
+				if inSegment[i] {
+					t.Fatalf("n=%d seed=%d: pmxInto left inSegment[%d] set", n, seed, i)
+				}
+			}
+			if rngRef.Int63() != rngLive.Int63() {
+				t.Fatalf("n=%d seed=%d: pmxInto consumed a different number of RNG draws", n, seed)
 			}
 		}
 	}

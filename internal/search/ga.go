@@ -17,6 +17,13 @@ import (
 // of the m tiles; the first n genes are the mapping and the remainder are
 // phantom placements, so PMX and swap mutation preserve injectivity by
 // construction.
+//
+// The search is generational in evaluation too: each generation's
+// children are bred first (consuming the RNG) and then scored in one
+// Context.EvaluateBatch call, so offspring evaluation parallelizes
+// across eval workers while staying bit-identical to a sequential
+// child-by-child loop. Both population generations live in a single
+// reused slab, so breeding allocates nothing after setup.
 type GA struct {
 	// PopSize is the population size (paper: "fixed-sized population").
 	PopSize int
@@ -83,47 +90,60 @@ func (g *GA) Search(ctx *core.Context) error {
 	numTasks := ctx.Problem().NumTasks()
 	numTiles := ctx.Problem().NumTiles()
 
-	newIndividual := func() individual {
-		perm := make([]topo.TileID, numTiles)
-		for i, v := range rng.Perm(numTiles) {
-			perm[i] = topo.TileID(v)
-		}
-		return individual{perm: perm}
+	// One slab backs both generations' permutations: pop owns the first
+	// PopSize chunks, next the second, and the generational hand-over
+	// swaps the slice headers wholesale. Children are bred by copying
+	// into next's chunks, so no generation allocates after this setup —
+	// the former per-child clonePerm/pmx allocations are gone (pinned by
+	// BenchmarkGAAllocs).
+	slab := make([]topo.TileID, 2*g.PopSize*numTiles)
+	pop := make([]individual, g.PopSize)
+	next := make([]individual, g.PopSize)
+	for i := range pop {
+		pop[i].perm = slab[i*numTiles : (i+1)*numTiles : (i+1)*numTiles]
+		ni := g.PopSize + i
+		next[i].perm = slab[ni*numTiles : (ni+1)*numTiles : (ni+1)*numTiles]
 	}
-	// viaDelta routes an individual through the incremental engine
-	// (ctx.EvaluateVia) instead of a full evaluation: used for the
-	// mutation-only children, which differ from an evaluated parent by a
-	// handful of swaps, so the engine re-scores only the touched edges.
-	// Crossover offspring recombine two parents and resemble neither, so
-	// they keep the full evaluation. Both paths produce bit-identical
-	// scores and spend exactly one budget unit.
-	evaluate := func(ind *individual, viaDelta bool) (bool, error) {
-		if ind.valid {
+	// pmxInto scratch, indexed by gene value.
+	inSegment := make([]bool, numTiles)
+	posInA := make([]int, numTiles)
+	// Batch scratch: the generation members awaiting scores, in breeding
+	// order, and their indices.
+	cands := make([]core.Mapping, 0, g.PopSize)
+	candIdx := make([]int, 0, g.PopSize)
+
+	// flush scores the pending candidates in one batch and writes the
+	// results back. full is false when the budget ran out mid-batch: the
+	// scored prefix was accounted exactly as a sequential loop would
+	// have, and the search is over.
+	flush := func(gen []individual) (full bool, err error) {
+		if len(cands) == 0 {
 			return true, nil
 		}
-		var s core.Score
-		var ok bool
-		var err error
-		if viaDelta {
-			s, ok, err = ctx.EvaluateVia(core.Mapping(ind.perm[:numTasks]))
-		} else {
-			s, ok, err = ctx.Evaluate(core.Mapping(ind.perm[:numTasks]))
+		scores, n, err := ctx.EvaluateBatch(cands)
+		if err != nil {
+			return false, err
 		}
-		if err != nil || !ok {
-			return ok, err
+		for k := 0; k < n; k++ {
+			gen[candIdx[k]].score = scores[k]
+			gen[candIdx[k]].valid = true
 		}
-		ind.score, ind.valid = s, true
-		return true, nil
+		full = n == len(cands)
+		cands, candIdx = cands[:0], candIdx[:0]
+		return full, nil
 	}
 
-	pop := make([]individual, g.PopSize)
 	for i := range pop {
-		pop[i] = newIndividual()
-		if ok, err := evaluate(&pop[i], false); err != nil {
-			return err
-		} else if !ok {
-			return nil // budget exhausted during initialization
+		for j, v := range rng.Perm(numTiles) {
+			pop[i].perm[j] = topo.TileID(v)
 		}
+		cands = append(cands, core.Mapping(pop[i].perm[:numTasks]))
+		candIdx = append(candIdx, i)
+	}
+	if full, err := flush(pop); err != nil {
+		return err
+	} else if !full {
+		return nil // budget exhausted during initialization
 	}
 
 	tournament := func() *individual {
@@ -137,22 +157,20 @@ func (g *GA) Search(ctx *core.Context) error {
 		return best
 	}
 
-	next := make([]individual, 0, g.PopSize)
 	for !ctx.Exhausted() {
 		spentBefore := ctx.Evals()
-		next = next[:0]
 		// Elitism: carry the best individuals over unchanged.
 		sortByScore(pop)
 		for i := 0; i < g.Elite; i++ {
-			elite := individual{perm: clonePerm(pop[i].perm), score: pop[i].score, valid: true}
-			next = append(next, elite)
+			copy(next[i].perm, pop[i].perm)
+			next[i].score, next[i].valid = pop[i].score, true
 		}
-		for len(next) < g.PopSize {
+		for i := g.Elite; i < g.PopSize; i++ {
 			p1, p2 := tournament(), tournament()
-			var child individual
-			viaDelta := false
+			child := &next[i]
 			if rng.Float64() < g.CrossoverRate {
-				child = individual{perm: pmx(rng, p1.perm, p2.perm)}
+				pmxInto(rng, p1.perm, p2.perm, child.perm, inSegment, posInA)
+				child.valid = false
 			} else {
 				// A clone starts as an exact copy of its parent and
 				// inherits the parent's cached score: re-evaluating it
@@ -160,22 +178,23 @@ func (g *GA) Search(ctx *core.Context) error {
 				// effective-budget leak under the equal-budget protocol.
 				// Mutation below flips valid, forcing an evaluation only
 				// when the mapping actually changed.
-				child = individual{perm: clonePerm(p1.perm), score: p1.score, valid: true}
-				viaDelta = true // a mutated clone is a short swap chain
+				copy(child.perm, p1.perm)
+				child.score, child.valid = p1.score, true
 			}
 			for rng.Float64() < g.MutationRate {
-				i, j := rng.Intn(numTiles), rng.Intn(numTiles)
-				child.perm[i], child.perm[j] = child.perm[j], child.perm[i]
+				x, y := rng.Intn(numTiles), rng.Intn(numTiles)
+				child.perm[x], child.perm[y] = child.perm[y], child.perm[x]
 				child.valid = false
 			}
 			if !child.valid {
-				if ok, err := evaluate(&child, viaDelta); err != nil {
-					return err
-				} else if !ok {
-					return nil
-				}
+				cands = append(cands, core.Mapping(child.perm[:numTasks]))
+				candIdx = append(candIdx, i)
 			}
-			next = append(next, child)
+		}
+		if full, err := flush(next); err != nil {
+			return err
+		} else if !full {
+			return nil
 		}
 		pop, next = next, pop
 		if ctx.Evals() == spentBefore && g.CrossoverRate == 0 && g.MutationRate == 0 {
@@ -191,12 +210,6 @@ func (g *GA) Search(ctx *core.Context) error {
 	return nil
 }
 
-func clonePerm(p []topo.TileID) []topo.TileID {
-	c := make([]topo.TileID, len(p))
-	copy(c, p)
-	return c
-}
-
 func sortByScore(pop []individual) {
 	// Insertion sort: populations are small and mostly sorted across
 	// generations.
@@ -207,38 +220,41 @@ func sortByScore(pop []individual) {
 	}
 }
 
-// pmx is partially mapped crossover over permutations: a random segment
-// of parent a is copied verbatim, and the remaining positions take parent
-// b's genes, remapped through the segment's correspondence so the result
-// stays a permutation.
-func pmx(rng *rand.Rand, a, b []topo.TileID) []topo.TileID {
+// pmxInto is partially mapped crossover over permutations: a random
+// segment of parent a is copied verbatim, and the remaining positions
+// take parent b's genes, remapped through the segment's correspondence
+// so the result stays a permutation. The child is written into dst;
+// inSegment and posInA are caller-owned scratch of length len(a),
+// indexed by gene value (inSegment must arrive all-false and is left
+// all-false). RNG draws and output are identical to the allocating
+// map-based form (pinned by TestPMXIntoMatchesReference).
+func pmxInto(rng *rand.Rand, a, b, dst []topo.TileID, inSegment []bool, posInA []int) {
 	n := len(a)
-	child := make([]topo.TileID, n)
 	lo := rng.Intn(n)
 	hi := rng.Intn(n)
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	inSegment := make(map[topo.TileID]bool, hi-lo+1)
-	for i := lo; i <= hi; i++ {
-		child[i] = a[i]
-		inSegment[a[i]] = true
-	}
-	// mapTo[x] answers: the gene x of b collides with the segment; which
-	// gene does the correspondence chain resolve it to?
-	posInA := make(map[topo.TileID]int, n)
 	for i, v := range a {
 		posInA[v] = i
+	}
+	for i := lo; i <= hi; i++ {
+		dst[i] = a[i]
+		inSegment[a[i]] = true
 	}
 	for i := 0; i < n; i++ {
 		if i >= lo && i <= hi {
 			continue
 		}
+		// The gene of b collides with the segment: follow the
+		// correspondence chain until it resolves outside it.
 		v := b[i]
 		for inSegment[v] {
 			v = b[posInA[v]]
 		}
-		child[i] = v
+		dst[i] = v
 	}
-	return child
+	for i := lo; i <= hi; i++ {
+		inSegment[a[i]] = false
+	}
 }

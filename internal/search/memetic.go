@@ -8,8 +8,8 @@ import (
 )
 
 // Memetic is a hybrid of the paper's two strong strategies: a genetic
-// algorithm for global exploration with a bounded greedy swap descent
-// (the R-PBLA move) applied to the best individual of each generation.
+// algorithm for global exploration with a bounded swap-neighborhood
+// probe (the R-PBLA move) applied to the incumbent after each burst.
 // It is one of the "other strategies" the extensible DSE engine admits,
 // and typically converges faster than either parent algorithm on dense
 // CGs where GA crossover alone stalls near good basins.
@@ -17,7 +17,8 @@ type Memetic struct {
 	// GA configures the underlying genetic algorithm.
 	GA *GA
 	// RefineMoves bounds the random swap moves tried when refining the
-	// generation's best individual (each costs one evaluation).
+	// incumbent after each burst (each non-degenerate move costs one
+	// evaluation).
 	RefineMoves int
 }
 
@@ -31,9 +32,17 @@ func (m *Memetic) Name() string { return "memetic" }
 
 // Search implements core.Searcher. The memetic search alternates short
 // GA bursts (fresh populations on a budget slice, in the manner of
-// iterated restarts) with first-improvement swap descent on the shared
+// iterated restarts) with a swap-neighborhood probe of the shared
 // incumbent; the context's incumbent ledger carries progress across
 // bursts.
+//
+// Each refinement leg drafts RefineMoves random tile swaps relative to
+// the incumbent, drops the degenerate ones (same tile, or two free
+// tiles — zero-delta moves that would waste budget) and scores the rest
+// in one Context.EvaluateBatch call: the probes are independent
+// single-swap neighbors of one base mapping, so they parallelize across
+// per-worker sessions while the batch's ordered accounting keeps the
+// incumbent update sequence identical to a sequential probe loop.
 func (m *Memetic) Search(ctx *core.Context) error {
 	if m.GA == nil {
 		return fmt.Errorf("search: memetic needs a GA configuration")
@@ -45,7 +54,14 @@ func (m *Memetic) Search(ctx *core.Context) error {
 		return err
 	}
 	numTiles := ctx.Problem().NumTiles()
+	numTasks := ctx.Problem().NumTasks()
 	rng := ctx.Rng()
+
+	// Refinement scratch, reused across legs: the incumbent's occupancy
+	// view and a slab backing the candidate neighbor mappings.
+	taskOf := make([]int, numTiles)
+	slab := make([]topo.TileID, m.RefineMoves*numTasks)
+	cands := make([]core.Mapping, 0, m.RefineMoves)
 
 	for !ctx.Exhausted() {
 		// GA burst: roughly four generations worth of evaluations.
@@ -56,36 +72,36 @@ func (m *Memetic) Search(ctx *core.Context) error {
 		if err := ctx.WithBudgetSlice(burst, m.GA.Search); err != nil {
 			return err
 		}
-		// Local refinement of the incumbent: seat the incremental session
-		// on it (already evaluated, so no budget) and descend by deltas.
-		best, bestScore, ok := ctx.Best()
+		// Local refinement: probe the swap neighborhood of the incumbent.
+		best, _, ok := ctx.Best()
 		if !ok {
 			return nil
 		}
-		if err := ctx.AttachSwaps(best); err != nil {
-			return err
+		for t := range taskOf {
+			taskOf[t] = -1
 		}
-		sess := ctx.SwapSession()
-		cur := bestScore
-		for i := 0; i < m.RefineMoves && !ctx.Exhausted(); i++ {
-			a := topo.TileID(rng.Intn(numTiles))
-			b := topo.TileID(rng.Intn(numTiles))
-			if a == b || (sess.TaskAt(a) < 0 && sess.TaskAt(b) < 0) {
+		for task, tile := range best {
+			taskOf[tile] = task
+		}
+		cands = cands[:0]
+		for i := 0; i < m.RefineMoves; i++ {
+			a := rng.Intn(numTiles)
+			b := rng.Intn(numTiles)
+			if a == b || (taskOf[a] < 0 && taskOf[b] < 0) {
 				continue
 			}
-			s, evaluated, err := ctx.EvaluateSwap(a, b)
-			if err != nil {
-				return err
+			cand := core.Mapping(slab[len(cands)*numTasks : (len(cands)+1)*numTasks])
+			copy(cand, best)
+			if ta := taskOf[a]; ta >= 0 {
+				cand[ta] = topo.TileID(b)
 			}
-			if !evaluated {
-				return nil
+			if tb := taskOf[b]; tb >= 0 {
+				cand[tb] = topo.TileID(a)
 			}
-			if s.Better(cur) {
-				cur = s // keep the move
-				ctx.CommitSwap()
-			} else if err := ctx.RevertSwap(); err != nil {
-				return err
-			}
+			cands = append(cands, cand)
+		}
+		if _, _, err := ctx.EvaluateBatch(cands); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"phonocmap/internal/core"
 	"phonocmap/internal/obs"
 )
 
@@ -70,6 +71,12 @@ func (s *Server) initMetrics() {
 	reg.GaugeFn("phonocmap_workers",
 		"Worker pool size.",
 		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFn("phonocmap_eval_workers",
+		"Per-run batch-evaluation worker count (results are identical at any setting; only throughput changes).",
+		func() float64 { return float64(core.DefaultEvalWorkers()) })
+	reg.CounterFn("phonocmap_batch_evals_total",
+		"Mapping evaluations committed through the batch evaluation path.",
+		func() float64 { return float64(core.BatchEvalsTotal()) })
 	reg.GaugeFn("phonocmap_worker_utilization",
 		"Fraction of the worker pool currently executing jobs (0..1).",
 		func() float64 { return m.workersBusy.Value() / float64(s.cfg.Workers) })

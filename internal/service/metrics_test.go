@@ -25,6 +25,8 @@ var metricFamilies = map[string]string{
 	"phonocmap_queue_capacity":         "gauge",
 	"phonocmap_workers":                "gauge",
 	"phonocmap_workers_busy":           "gauge",
+	"phonocmap_eval_workers":           "gauge",
+	"phonocmap_batch_evals_total":      "counter",
 	"phonocmap_worker_utilization":     "gauge",
 	"phonocmap_jobs_active":            "gauge",
 	"phonocmap_jobs_submitted_total":   "counter",
@@ -163,6 +165,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	expect("phonocmap_workers", float64(cfg.Workers))
 	expect("phonocmap_queue_capacity", float64(cfg.QueueSize))
+	expect("phonocmap_eval_workers", 1)
 	expect("phonocmap_cache_hits_total", 1)
 	expect("phonocmap_cache_misses_total", 1)
 	expect("phonocmap_cache_evictions_total", 0)

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"phonocmap/internal/core"
 	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sweep"
@@ -27,6 +28,13 @@ type Config struct {
 	// QueueSize bounds the number of jobs waiting for a worker (default
 	// 64). Submissions beyond it are rejected with 503.
 	QueueSize int
+	// EvalWorkers is the per-run batch-evaluation worker count applied
+	// process-wide (default 1, i.e. sequential evaluation). It trades
+	// intra-run parallelism against the Workers pool's inter-job
+	// parallelism without changing any result: evaluation worker count
+	// is bit-identity-preserving, so cached and remote results stay
+	// byte-identical whatever the setting.
+	EvalWorkers int
 	// CacheSize bounds the result cache entries (default 256; negative
 	// disables caching).
 	CacheSize int
@@ -60,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
+	}
+	if c.EvalWorkers <= 0 {
+		c.EvalWorkers = 1
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
@@ -134,6 +145,7 @@ func New(cfg Config) *Server {
 		sweeps:  make(map[string]*Sweep),
 		started: time.Now(),
 	}
+	core.SetDefaultEvalWorkers(cfg.EvalWorkers)
 	s.initMetrics()
 	s.routes()
 	s.handler = s.instrument(s.mux)
@@ -142,7 +154,8 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	s.logger.Info("server started",
-		"workers", cfg.Workers, "queue_size", cfg.QueueSize, "cache_size", cfg.CacheSize)
+		"workers", cfg.Workers, "queue_size", cfg.QueueSize, "cache_size", cfg.CacheSize,
+		"eval_workers", cfg.EvalWorkers)
 	return s
 }
 

@@ -96,6 +96,9 @@ type (
 	// search: scores tile swaps by re-evaluating only the communications
 	// they change, bit-for-bit identical to Evaluate.
 	SwapSession = core.SwapSession
+	// SwapSessionPool holds one SwapSession per evaluation worker for the
+	// population-parallel batch evaluation path.
+	SwapSessionPool = core.SwapSessionPool
 	// SweepSpec is a declarative design-space grid: apps × architectures
 	// × objectives × algorithms × budgets × seeds.
 	SweepSpec = sweep.Spec
@@ -302,6 +305,17 @@ func Evaluate(prob *Problem, m Mapping) (Score, error) { return prob.Evaluate(m)
 func NewSwapSession(prob *Problem, m Mapping) (*SwapSession, error) {
 	return prob.NewSwapSession(m)
 }
+
+// SetEvalWorkers sets the process-wide default batch-evaluation worker
+// count used by the population-based searchers (GA, memetic). Worker
+// count never changes results — sequential and parallel runs are
+// bit-identical — it only tunes throughput. Values below 1 reset to 1
+// (sequential).
+func SetEvalWorkers(n int) { core.SetDefaultEvalWorkers(n) }
+
+// EvalWorkers returns the process-wide default batch-evaluation worker
+// count.
+func EvalWorkers() int { return core.DefaultEvalWorkers() }
 
 // RandomApp generates a weakly connected random application CG with the
 // given task and directed-edge counts and uniform random bandwidths —
