@@ -136,6 +136,7 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 			}
 		}
 	}
+	//phonocmap:wallclock only measures RunResult.Duration, the one field documented as non-contractual
 	start := time.Now()
 	if err := s.Search(ctx); err != nil {
 		return RunResult{}, fmt.Errorf("core: %s failed: %w", s.Name(), err)
@@ -154,8 +155,9 @@ func (e *Exploration) Run(s Searcher) (RunResult, error) {
 		Mapping:   best,
 		Score:     score,
 		Evals:     ctx.Evals(),
-		Duration:  time.Since(start),
-		Seed:      seed,
+		//phonocmap:wallclock Duration is the one non-contractual RunResult field; differential suites strip it
+		Duration: time.Since(start),
+		Seed:     seed,
 		// A cancellation that lands after the budget was fully spent did
 		// not truncate anything; the result is complete.
 		Cancelled: ctx.Cancelled() && ctx.Evals() < ctx.Budget(),

@@ -127,7 +127,10 @@ func (ss *SwapSession) Pending() bool { return ss.pending }
 // emptiness) and returns the score of the resulting mapping, touching
 // only the communications the swap changes. Resolve the move with Commit
 // or Revert before the next call. Swapping two free tiles (or a tile
+//
 // with itself) is a legal zero-delta evaluation of the unchanged mapping.
+//
+//phonocmap:noalloc
 func (ss *SwapSession) EvaluateSwap(a, b topo.TileID) (Score, error) {
 	if ss.pending {
 		return Score{}, fmt.Errorf("core: unresolved tentative swap (%d,%d); Commit or Revert first", ss.pa, ss.pb)
@@ -165,7 +168,10 @@ func (ss *SwapSession) Commit() {
 }
 
 // Revert undoes the tentative swap, restoring mapping and cached physics
+//
 // to their exact previous state.
+//
+//phonocmap:noalloc
 func (ss *SwapSession) Revert() error {
 	if !ss.pending {
 		return fmt.Errorf("core: no tentative swap to revert")
@@ -183,7 +189,10 @@ func (ss *SwapSession) Revert() error {
 // by delta from the current one: only the edges incident to tasks whose
 // tile changed are re-evaluated. The move is committed immediately (no
 // Revert). Cost degrades gracefully to a full evaluation when the two
+//
 // mappings share nothing.
+//
+//phonocmap:noalloc
 func (ss *SwapSession) Reseat(m Mapping) (Score, error) {
 	if ss.pending {
 		return Score{}, fmt.Errorf("core: unresolved tentative swap (%d,%d); Commit or Revert first", ss.pa, ss.pb)
@@ -268,7 +277,10 @@ func (ss *SwapSession) restoreMapping(old Mapping) {
 }
 
 // applySwap exchanges the contents of two tiles in the mapping and the
+//
 // occupancy view (its own inverse).
+//
+//phonocmap:noalloc
 func (ss *SwapSession) applySwap(a, b topo.TileID) {
 	ta, tb := ss.taskOf[a], ss.taskOf[b]
 	ss.taskOf[a], ss.taskOf[b] = tb, ta
@@ -282,7 +294,10 @@ func (ss *SwapSession) applySwap(a, b topo.TileID) {
 
 // collectDelta lists the CG edges incident to the tasks now on tiles a
 // and b (post-swap) and their induced communications under the current
+//
 // mapping. An edge between the two swapped tasks appears once.
+//
+//phonocmap:noalloc
 func (ss *SwapSession) collectDelta(a, b topo.TileID) ([]int, []analysis.Communication) {
 	ss.changed = ss.changed[:0]
 	ss.newComms = ss.newComms[:0]

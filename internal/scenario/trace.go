@@ -111,6 +111,7 @@ type Tracer struct {
 // NewTracer returns a tracer for a run with the given island count
 // (clamped to 1), with the clock starting now.
 func NewTracer(islands int) *Tracer {
+	//phonocmap:wallclock the tracer's epoch only feeds TraceEvent.AtMs, which is stripped (with all wall-clock fields) before differential comparison
 	return &Tracer{start: time.Now(), islandEvals: make([]int, max(islands, 1))}
 }
 
@@ -128,6 +129,7 @@ func (t *Tracer) onProgress(island, evals int, _ core.Score) {
 }
 
 func (t *Tracer) onImprove(island, evals int, best core.Score) {
+	//phonocmap:wallclock AtMs is the trace's human timeline, not a contract field; equivalence tests strip it
 	at := float64(time.Since(t.start)) / float64(time.Millisecond)
 	t.mu.Lock()
 	defer t.mu.Unlock()

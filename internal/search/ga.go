@@ -228,6 +228,8 @@ func sortByScore(pop []individual) {
 // indexed by gene value (inSegment must arrive all-false and is left
 // all-false). RNG draws and output are identical to the allocating
 // map-based form (pinned by TestPMXIntoMatchesReference).
+//
+//phonocmap:noalloc
 func pmxInto(rng *rand.Rand, a, b, dst []topo.TileID, inSegment []bool, posInA []int) {
 	n := len(a)
 	lo := rng.Intn(n)

@@ -414,6 +414,10 @@ func (s *Server) activeSweeps() int {
 // bodies cannot balloon decoder memory.
 const maxRequestBytes = 4 << 20
 
+// writeJSON is the service's single response writer; writeError layers
+// the structured error envelope on top of it.
+//
+//phonocmap:envelope
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -1,0 +1,87 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface that phonocmap-lint's
+// analyzers are written against. The container this repo builds in has
+// no module proxy access, so the real x/tools cannot be vendored; the
+// subset here — Analyzer, Pass, Diagnostic — is API-compatible enough
+// that the analyzers would port to the real framework by changing one
+// import line.
+//
+// Analyzers in this suite are purely local: they inspect one
+// type-checked package at a time and never exchange facts across
+// packages. That restriction is what makes the stdlib-only driver in
+// phonocmap/lint/unitchecker possible.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (used as the diagnostic
+// prefix and the analysistest identifier), human documentation, and the
+// Run function applied to every package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether a file is a test file; the phonocmap
+// contracts apply to production code, so every analyzer in the suite
+// skips _test.go files while still type-checking them as part of the
+// package unit.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// SourceFiles returns the pass's non-test files.
+func (p *Pass) SourceFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !IsTestFile(p.Fset, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PkgPathHasSuffix reports whether the pass's package path ends in one
+// of the given slash-separated suffixes. Matching by suffix rather than
+// full path keeps the analyzers applicable both to the real module
+// ("phonocmap/internal/core") and to testdata fixtures that mimic its
+// layout under another module name.
+func (p *Pass) PkgPathHasSuffix(suffixes ...string) bool {
+	path := p.Pkg.Path()
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

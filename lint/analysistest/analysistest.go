@@ -1,0 +1,233 @@
+// Package analysistest runs an analyzer over a GOPATH-style testdata
+// tree and checks its diagnostics against // want annotations, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which cannot be
+// vendored in this build environment).
+//
+// Fixture layout: <testdata>/src/<importpath>/*.go. A fixture package
+// may import other fixture packages (resolved from the same tree, so
+// tests can mimic phonocmap's own layout, e.g. a fake
+// phonocmap/internal/obs) and any standard library package (resolved
+// via the toolchain's export data).
+//
+// Expectations are trailing comments:
+//
+//	bad()            // want "regexp matched against the message"
+//	worse()          // want "first" "second"
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"phonocmap/lint/analysis"
+)
+
+// Run loads each fixture package, applies the analyzer, and reports
+// mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, path := range pkgpaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, ld.fset, pkg.files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := ld.fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	key     lineKey
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+// wantRE extracts the quoted expectations from a // want comment.
+var wantRE = regexp.MustCompile(`(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					}
+					expr = strings.ReplaceAll(expr, `\"`, `"`)
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, expr, err)
+					}
+					ws.wants = append(ws.wants, &want{
+						key: lineKey{posn.Filename, posn.Line},
+						re:  re,
+					})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *wantSet) match(key lineKey, message string) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.key == key && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, w := range ws.wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.key.file, w.key.line, w.re)
+		}
+	}
+}
+
+// --- fixture loading ---
+
+type loadedPkg struct {
+	types *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	loaded   map[string]*loadedPkg
+	imp      *fixtureImporter
+}
+
+func newLoader(testdata string) *loader {
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		loaded:   make(map[string]*loadedPkg),
+	}
+	ld.imp = &fixtureImporter{ld: ld, std: newStdImporter(ld.fset)}
+	return ld
+}
+
+// load parses and type-checks one fixture package (memoized).
+func (ld *loader) load(pkgpath string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[pkgpath]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(pkgpath))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: ld.imp}
+	tpkg, err := tc.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", pkgpath, err)
+	}
+	p := &loadedPkg{types: tpkg, files: files, info: info}
+	ld.loaded[pkgpath] = p
+	return p, nil
+}
+
+// fixtureImporter resolves imports from the fixture tree first, then
+// from the standard library.
+type fixtureImporter struct {
+	ld  *loader
+	std types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir := filepath.Join(fi.ld.testdata, "src", filepath.FromSlash(path))
+	if names, _ := filepath.Glob(filepath.Join(dir, "*.go")); len(names) > 0 {
+		p, err := fi.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return fi.std.Import(path)
+}

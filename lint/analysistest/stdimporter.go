@@ -1,0 +1,64 @@
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// stdImporter resolves standard-library imports through the installed
+// toolchain: `go list -export` compiles (or reuses from the build
+// cache) the package and reports its export-data file, which the gc
+// importer then reads. This works fully offline — fixtures only import
+// the standard library and other fixtures.
+type stdImporter struct {
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	si := &stdImporter{exports: make(map[string]string)}
+	si.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := si.exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	return si
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	return si.gc.Import(path)
+}
+
+// exportFile locates the export data of a toolchain package, memoized.
+func (si *stdImporter) exportFile(path string) (string, error) {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if f, ok := si.exports[path]; ok {
+		return f, nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, errb.String())
+	}
+	file := strings.TrimSpace(out.String())
+	if file == "" {
+		return "", fmt.Errorf("go list -export %s: no export data", path)
+	}
+	si.exports[path] = file
+	return file, nil
+}

@@ -1,0 +1,14 @@
+package determinism
+
+import (
+	"testing"
+
+	"phonocmap/lint/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"phonocmap/internal/core", // contract package: all checks active
+		"phonocmap/internal/util", // non-contract package: no diagnostics
+	)
+}

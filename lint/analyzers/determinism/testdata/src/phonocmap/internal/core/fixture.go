@@ -1,0 +1,101 @@
+// Package core is a determinism-analyzer fixture mimicking a contract
+// package (its import path ends in internal/core).
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Duration {
+	_ = time.Now() // want "time.Now in a determinism-contract package"
+	//phonocmap:wallclock feeds a documented non-contractual duration field
+	start := time.Now()
+	return time.Since(start) // want "time.Since in a determinism-contract package"
+}
+
+func draw(rng *rand.Rand) int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle in a determinism-contract package"
+	_ = rand.Intn(4)                   // want "global rand.Intn in a determinism-contract package"
+	r := rand.New(rand.NewSource(1))   // ok: constructors build the seeded generators the rule demands
+	return r.Intn(4) + rng.Intn(2)     // ok: methods on an explicit *rand.Rand
+}
+
+func collect(m map[string]int) ([]string, []string) {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want `append to "names" inside a map range`
+	}
+	var sorted []string
+	for k := range m {
+		sorted = append(sorted, k) // ok: sorted immediately after the loop
+	}
+	sort.Strings(sorted)
+	return names, sorted
+}
+
+func orderedAppend(m map[string]int, sink []string) []string {
+	//phonocmap:ordered the caller re-sorts the sink before any output
+	for k := range m {
+		sink = append(sink, k)
+	}
+	return sink
+}
+
+func encode(m map[string]int) [][]byte {
+	var enc [][]byte
+	for _, v := range m {
+		b, err := json.Marshal(v) // want "json encoding inside a map range"
+		if err != nil {
+			continue
+		}
+		enc = append(enc, b) // want `append to "enc" inside a map range`
+	}
+	return enc
+}
+
+type stats struct {
+	Mean float64
+	Last string
+}
+
+func aggregate(m map[string]float64, st *stats) (count int) {
+	var sum float64
+	for k, v := range m {
+		sum += v    // want `accumulation of "sum" inside a map range`
+		count++     // ok: IncDec of an integer commutes
+		st.Last = k // want "write to field Last"
+	}
+	st.Mean = sum / float64(len(m))
+	return count
+}
+
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: integer accumulation commutes
+	}
+	return total
+}
+
+func mirror(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // ok: keyed map writes are order-independent
+	}
+	return out
+}
+
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		for _, v := range vs {
+			local = append(local, v) // ok: local is declared inside the map-range body
+		}
+		n += len(local)
+	}
+	return n
+}

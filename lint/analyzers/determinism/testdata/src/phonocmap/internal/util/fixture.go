@@ -1,0 +1,20 @@
+// Package util is outside the determinism contract: wall clocks, the
+// global rand stream and map iteration are unrestricted here.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Jitter() int { return rand.Intn(10) }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package errenvelope enforces the service's structured-error contract:
+// every non-2xx response under internal/service must flow through the
+// envelope writer ({"error":{code,message,details}}), never through
+// http.Error or a bare WriteHeader+body pair. The client SDK decodes
+// exactly one failure shape; one handler that writes plain text breaks
+// every typed caller.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"phonocmap/lint/analysis"
+	"phonocmap/lint/directive"
+)
+
+// Analyzer is the error-envelope contract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "phonoerrenvelope",
+	Doc: `require internal/service handlers to emit errors through the envelope writer
+
+Within packages whose path ends in internal/service:
+
+  - calls to net/http.Error are always a violation;
+  - w.WriteHeader is allowed only with a compile-time status below 400,
+    inside a method itself named WriteHeader (middleware forwarding), or
+    inside a function whose doc comment carries //phonocmap:envelope —
+    the designated envelope/JSON writer implementation.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !pass.PkgPathHasSuffix("internal/service") {
+		return nil, nil
+	}
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exemptWriter := directive.OnFunc(fn, "envelope") || fn.Name.Name == "WriteHeader"
+			checkFunc(pass, fn, exemptWriter)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, exemptWriter bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		if isHTTPError(callee) {
+			pass.Reportf(call.Pos(),
+				"http.Error writes a plain-text error outside the structured envelope; use the service's envelope writer (writeError) instead")
+			return true
+		}
+		if callee.Name() == "WriteHeader" && !exemptWriter {
+			if code, isConst := constIntArg(pass, call, 0); !isConst || code >= 400 {
+				pass.Reportf(call.Pos(),
+					"bare WriteHeader with an error status bypasses the structured error envelope; emit errors through the envelope writer or mark the designated writer with //phonocmap:envelope")
+			}
+		}
+		return true
+	})
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isHTTPError(fn *types.Func) bool {
+	return fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// constIntArg returns the compile-time integer value of argument i.
+func constIntArg(pass *analysis.Pass, call *ast.CallExpr, i int) (int64, bool) {
+	if i >= len(call.Args) {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}

@@ -1,0 +1,14 @@
+package errenvelope
+
+import (
+	"testing"
+
+	"phonocmap/lint/analysistest"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"phonocmap/internal/service", // service package: contract active
+		"phonocmap/internal/webui",   // non-service package: no diagnostics
+	)
+}

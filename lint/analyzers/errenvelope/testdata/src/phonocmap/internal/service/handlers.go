@@ -1,0 +1,33 @@
+// Package service exercises errenvelope inside a service package.
+package service
+
+import "net/http"
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error writes a plain-text error outside the structured envelope"
+}
+
+func bareHeader(w http.ResponseWriter, code int) {
+	w.WriteHeader(http.StatusBadRequest) // want "bare WriteHeader with an error status"
+	w.WriteHeader(code)                  // want "bare WriteHeader with an error status"
+	w.WriteHeader(http.StatusNoContent)  // ok: compile-time success status
+}
+
+// writeError is the fixture's designated envelope writer.
+//
+//phonocmap:envelope
+func writeError(w http.ResponseWriter, code int) {
+	w.WriteHeader(code) // ok: inside the annotated envelope writer
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records and forwards the status (middleware
+// instrumentation), which the analyzer allows by method name.
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,9 @@
+// Package webui is outside internal/service: the envelope contract
+// does not apply here.
+package webui
+
+import "net/http"
+
+func PlainError(w http.ResponseWriter) {
+	http.Error(w, "not a service package", http.StatusTeapot)
+}

@@ -1,0 +1,182 @@
+// Package metricname is the static twin of the service's metricFamilies
+// scrape test: every metric family registered with internal/obs must
+// have a compile-time constant name matching ^phonocmap_[a-z0-9_]+$,
+// must be registered at most once per package, and labeled vectors must
+// declare their label keys as compile-time string constants (bounded
+// cardinality by construction — a computed label key is how unbounded
+// families sneak into a registry).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"phonocmap/lint/analysis"
+)
+
+// Analyzer is the metric naming and registration check.
+var Analyzer = &analysis.Analyzer{
+	Name: "phonometricname",
+	Doc: `enforce the phonocmap_* metric naming contract at registration sites
+
+Names passed to obs.Registry registration methods (MustRegister, Counter,
+CounterVec, CounterFn, Gauge, GaugeFn, Histogram, HistogramVec) must be
+compile-time string constants matching ^phonocmap_[a-z0-9_]+$ and unique
+within the registering package. Label keys of CounterVec/HistogramVec
+(and the standalone NewCounterVec/NewHistogramVec constructors) must be
+compile-time string constants matching ^[a-z][a-z0-9_]*$.`,
+	Run: run,
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^phonocmap_[a-z0-9_]+$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// registryMethods maps obs.Registry method names to the index of their
+// first label-key argument (-1: the method takes no label keys).
+var registryMethods = map[string]int{
+	"MustRegister": -1,
+	"Counter":      -1,
+	"CounterFn":    -1,
+	"Gauge":        -1,
+	"GaugeFn":      -1,
+	"Histogram":    -1,
+	"CounterVec":   2,
+	"HistogramVec": 3,
+}
+
+// standaloneVecs maps obs package-level constructors to the index of
+// their first label-key argument.
+var standaloneVecs = map[string]int{
+	"NewCounterVec":   0,
+	"NewHistogramVec": 1,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The obs package itself constructs and validates names generically;
+	// the contract binds its *clients*.
+	if pass.PkgPathHasSuffix("internal/obs") {
+		return nil, nil
+	}
+	registered := make(map[string]ast.Node) // metric name -> first registration
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || !fromObs(fn) {
+				return true
+			}
+			if labelStart, ok := registryMethods[fn.Name()]; ok && isRegistryMethod(fn) {
+				checkName(pass, call, fn.Name(), registered)
+				if labelStart >= 0 {
+					checkLabels(pass, call, fn.Name(), labelStart)
+				}
+			} else if labelStart, ok := standaloneVecs[fn.Name()]; ok {
+				checkLabels(pass, call, fn.Name(), labelStart)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func fromObs(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+func isRegistryMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// checkName validates the metric family name (argument 0) and records
+// it for duplicate detection.
+func checkName(pass *analysis.Pass, call *ast.CallExpr, method string, registered map[string]ast.Node) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	name, isConst := constString(pass, arg)
+	if !isConst {
+		pass.Reportf(arg.Pos(),
+			"metric name passed to Registry.%s must be a compile-time string constant so the family set is auditable statically", method)
+		return
+	}
+	if !nameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q does not match the required pattern ^phonocmap_[a-z0-9_]+$", name)
+		return
+	}
+	if first, dup := registered[name]; dup {
+		pass.Reportf(arg.Pos(),
+			"duplicate registration of metric %q (first registered at %s); obs.Registry panics on duplicates at startup",
+			name, pass.Fset.Position(first.Pos()))
+		return
+	}
+	registered[name] = arg
+}
+
+// checkLabels validates the label-key arguments starting at index from.
+func checkLabels(pass *analysis.Pass, call *ast.CallExpr, method string, from int) {
+	for i := from; i < len(call.Args); i++ {
+		arg := call.Args[i]
+		// A variadic splat (labels...) defeats static bounding.
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			pass.Reportf(arg.Pos(),
+				"label keys passed to %s via ... cannot be statically bounded; list them as string literals", method)
+			return
+		}
+		key, isConst := constString(pass, arg)
+		if !isConst {
+			pass.Reportf(arg.Pos(),
+				"label key passed to %s must be a compile-time string constant (bounded label sets are part of the metrics contract)", method)
+			continue
+		}
+		if !labelRE.MatchString(key) {
+			pass.Reportf(arg.Pos(),
+				"label key %q does not match the required pattern ^[a-z][a-z0-9_]*$", key)
+		}
+	}
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,14 @@
+package metricname
+
+import (
+	"testing"
+
+	"phonocmap/lint/analysistest"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"phonocmap/internal/service", // registry client: all checks active
+		"phonocmap/internal/obs",     // the registry itself: exempt wholesale
+	)
+}

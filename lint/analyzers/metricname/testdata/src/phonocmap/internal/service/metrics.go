@@ -1,0 +1,35 @@
+// Package service exercises metricname from a registry client.
+package service
+
+import "phonocmap/internal/obs"
+
+var reg obs.Registry
+
+func register(suffix string, labels []string) {
+	reg.Counter("phonocmap_requests_total", "requests")
+	reg.Counter("requests_total", "no prefix")     // want "does not match the required pattern"
+	reg.Counter("phonocmap_requests_total", "dup") // want "duplicate registration"
+	reg.Counter("phonocmap_"+suffix, "computed")   // want "must be a compile-time string constant"
+	reg.MustRegister("phonocmap_custom_total", "custom", &obs.Counter{})
+	reg.Histogram("phonocmap_latency_seconds", "latency", nil)
+	reg.CounterVec("phonocmap_rpcs_total", "rpcs", "endpoint", "code")
+	reg.CounterVec("phonocmap_bad_labels_total", "bad", "Endpoint") // want `label key "Endpoint" does not match`
+	reg.HistogramVec("phonocmap_eval_ms", "evals", nil, "endpoint")
+	reg.CounterVec("phonocmap_splat_total", "splat", labels...) // want "cannot be statically bounded"
+}
+
+func standalone() {
+	_ = obs.NewCounterVec("endpoint")
+	_ = obs.NewCounterVec("en dpoint") // want `label key "en dpoint" does not match`
+	_ = obs.NewHistogramVec(nil, "code")
+}
+
+func notARegistry(p *obs.Plain) {
+	p.Counter("whatever", "Plain.Counter is not a registration site")
+}
+
+const reqLatency = "phonocmap_req_latency_ms"
+
+func constName() {
+	reg.Histogram(reqLatency, "named constants are compile-time constants too", nil)
+}

@@ -1,0 +1,348 @@
+// Package noalloc statically audits functions annotated
+// //phonocmap:noalloc — the hot-path functions whose 0-allocs/op
+// contract the CI benchmark gate samples dynamically on two paths. The
+// analyzer rejects constructs that allocate on the happy path: make /
+// new, slice-or-map composite literals, &T{} literals, appends that are
+// not provably amortized scratch reuse, capturing closures, string and
+// rune conversions, and implicit interface boxing.
+//
+// Error paths are exempt: a block whose final statement returns a
+// non-nil error is "cold" — the benchmark contract covers runs that
+// complete without error, and error construction (fmt.Errorf) is
+// allowed to allocate there.
+package noalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"phonocmap/lint/analysis"
+	"phonocmap/lint/directive"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "phononoalloc",
+	Doc: `reject allocating constructs in functions annotated //phonocmap:noalloc
+
+The check is local and conservative: it complements (not replaces) the
+-benchmem CI gate by covering every annotated function on every change,
+not just the two benchmarked paths. Appends are allowed only in the
+amortized scratch-reuse idiom: append(x[:0], ...) or appends to a slice
+reset with x = x[:0] in the same function.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !directive.OnFunc(fn, "noalloc") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	resets := scratchResets(pass, fn.Body)
+	cold := coldBlocks(fn.Body)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok && cold[b] {
+			return false // error path: allocation is acceptable there
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, resets)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fn, n)
+		case *ast.FuncLit:
+			if capt := captured(pass, n); capt != "" {
+				pass.Reportf(n.Pos(),
+					"%s is //phonocmap:noalloc but contains a closure capturing %q (closure environments are heap-allocated)",
+					fn.Name.Name, capt)
+			}
+			return false // don't descend: the closure body runs elsewhere
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"%s is //phonocmap:noalloc but starts a goroutine (stack + closure allocation)", fn.Name.Name)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// checkCall flags allocating builtins, conversions and interface boxing.
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, resets map[string]bool) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(),
+					"%s is //phonocmap:noalloc but calls %s", fn.Name.Name, b.Name())
+			case "append":
+				checkAppend(pass, fn, call, resets)
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where T allocates (string <-> []byte/[]rune, to interface).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		if src != nil {
+			if allocatingConversion(dst, src) {
+				pass.Reportf(call.Pos(),
+					"%s is //phonocmap:noalloc but converts %s to %s, which allocates", fn.Name.Name, src, dst)
+			}
+			if isInterface(dst) && !isInterface(src) && !isNilConst(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"%s is //phonocmap:noalloc but boxes %s into interface %s", fn.Name.Name, src, dst)
+			}
+		}
+		return
+	}
+	// Implicit boxing at call sites: concrete argument, interface parameter.
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || isNilConst(pass, arg) {
+			continue
+		}
+		if isInterface(pt) && !isInterface(at) {
+			pass.Reportf(arg.Pos(),
+				"%s is //phonocmap:noalloc but passes %s as interface %s (boxing may allocate)", fn.Name.Name, at, pt)
+		}
+	}
+}
+
+// checkAppend allows only the amortized scratch-reuse idiom.
+func checkAppend(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, resets map[string]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	// append(x[:0], ...) reuses x's backing array.
+	if isZeroReslice(pass, dst) {
+		return
+	}
+	// append(x, ...) where x was reset with x = x[:0] earlier.
+	if resets[exprKey(pass.Fset, dst)] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s is //phonocmap:noalloc but this append may grow its backing array; use the scratch idiom (x = x[:0] then append) if amortized growth is intended",
+		fn.Name.Name)
+}
+
+// scratchResets collects the textual keys of slices reset to length
+// zero anywhere in the function (x = x[:0], including fields like
+// s.buf = s.buf[:0]) — the designated amortized-scratch slices.
+func scratchResets(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	resets := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			sl, ok := ast.Unparen(rhs).(*ast.SliceExpr)
+			if !ok || !isZeroHigh(pass, sl) {
+				continue
+			}
+			lhsKey := exprKey(pass.Fset, ast.Unparen(as.Lhs[i]))
+			if lhsKey != "" && lhsKey == exprKey(pass.Fset, ast.Unparen(sl.X)) {
+				resets[lhsKey] = true
+			}
+		}
+		return true
+	})
+	return resets
+}
+
+// isZeroReslice reports whether e is x[:0] (or x[0:0]).
+func isZeroReslice(pass *analysis.Pass, e ast.Expr) bool {
+	sl, ok := e.(*ast.SliceExpr)
+	return ok && isZeroHigh(pass, sl)
+}
+
+func isZeroHigh(pass *analysis.Pass, sl *ast.SliceExpr) bool {
+	if sl.High == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sl.High]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, _ := constant.Int64Val(tv.Value)
+	return v == 0
+}
+
+// checkCompositeLit flags literals with heap-allocated backing: slices,
+// maps, and &T{}-style pointer literals. Plain struct and array values
+// live in the frame.
+func checkCompositeLit(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(),
+			"%s is //phonocmap:noalloc but builds a slice literal of %s", fn.Name.Name, t)
+	case *types.Map:
+		pass.Reportf(lit.Pos(),
+			"%s is //phonocmap:noalloc but builds a map literal of %s", fn.Name.Name, t)
+	}
+}
+
+// captured returns the name of a variable the closure captures from its
+// enclosing function, or "".
+func captured(pass *analysis.Pass, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// coldBlocks marks if/else blocks whose final statement returns a
+// non-nil last value — the early-exit error paths the allocation
+// contract does not cover.
+func coldBlocks(body *ast.BlockStmt) map[*ast.BlockStmt]bool {
+	cold := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		markIfCold(cold, ifs.Body)
+		if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+			markIfCold(cold, els)
+		}
+		return true
+	})
+	return cold
+}
+
+func markIfCold(cold map[*ast.BlockStmt]bool, b *ast.BlockStmt) {
+	if len(b.List) == 0 {
+		return
+	}
+	ret, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, isID := last.(*ast.Ident); isID && id.Name == "nil" {
+		return
+	}
+	cold[b] = true
+}
+
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramType returns the static type of parameter i, unrolling variadics.
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && !ellipsis && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isNilConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// allocatingConversion reports string<->[]byte/[]rune conversions.
+func allocatingConversion(dst, src types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+// exprKey renders an expression to a comparable textual key
+// ("ss.changed"); non-path expressions key as "".
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return ""
+	}
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"phonocmap/lint/analysistest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "phonocmap/internal/hot")
+}

@@ -1,0 +1,74 @@
+// Package hot exercises the noalloc analyzer on annotated and
+// unannotated functions.
+package hot
+
+import "fmt"
+
+type session struct {
+	scratch []int
+	buf     []byte
+}
+
+// Evaluate is the happy-path shape the hot path uses: error paths may
+// allocate, scratch slices are reset and reused.
+//
+//phonocmap:noalloc
+func (s *session) Evaluate(xs []int) (int, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty input") // ok: cold error path
+	}
+	s.scratch = s.scratch[:0]
+	for _, x := range xs {
+		s.scratch = append(s.scratch, x) // ok: amortized scratch reuse
+	}
+	s.buf = append(s.buf[:0], byte(len(xs))) // ok: append into x[:0]
+	return len(s.scratch), nil
+}
+
+//phonocmap:noalloc
+func grow(xs []int) []int {
+	out := make([]int, 0, len(xs)) // want "calls make"
+	for _, x := range xs {
+		out = append(out, x) // want "append may grow its backing array"
+	}
+	return out
+}
+
+//phonocmap:noalloc
+func newT() *session {
+	return new(session) // want "calls new"
+}
+
+//phonocmap:noalloc
+func literals() int {
+	xs := []int{1, 2, 3}        // want "builds a slice literal"
+	m := map[string]int{"a": 1} // want "builds a map literal"
+	return len(xs) + len(m)
+}
+
+//phonocmap:noalloc
+func boxes(x int) {
+	_ = interface{}(x) // want "boxes int into interface"
+	fmt.Println(x)     // want "passes int as interface"
+}
+
+//phonocmap:noalloc
+func strConv(b []byte) string {
+	return string(b) // want "which allocates"
+}
+
+//phonocmap:noalloc
+func capture(x int) func() int {
+	return func() int { return x } // want `closure capturing "x"`
+}
+
+//phonocmap:noalloc
+func spawn() {
+	go func() {}() // want "starts a goroutine"
+}
+
+// notAnnotated allocates freely: without the directive nothing is
+// checked.
+func notAnnotated() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,14 @@
+package poolrelease
+
+import (
+	"testing"
+
+	"phonocmap/lint/analysistest"
+)
+
+func TestPoolRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"phonocmap/internal/search", // consumer of the pooled constructors
+		"phonocmap/internal/core",   // defining package: acquisition sites exempt
+	)
+}

@@ -1,0 +1,9 @@
+// Package analysis is a poolrelease fixture stand-in for phonocmap's
+// incremental-analysis package.
+package analysis
+
+type Incremental struct{}
+
+func (inc *Incremental) Close() {}
+
+func NewIncremental(n int) *Incremental { return &Incremental{} }

@@ -1,0 +1,105 @@
+// Package benchparse parses `go test -bench -benchmem` output into
+// typed results. It replaces the awk '$(NF-1)' one-liners previously
+// used by the CI allocation gate, which silently matched nothing (and
+// therefore passed) whenever the benchmark name, the column layout, or
+// a concurrent log line shifted. The parser keys on the unit tokens
+// (ns/op, B/op, allocs/op) instead of column positions, so interleaved
+// output and extra metrics cannot change what a number means.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark result line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkEvaluateFullVsIncremental/incremental-4x4-8".
+	Name string
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64
+	// NsPerOp is the ns/op value; NaN-free, -1 when absent.
+	NsPerOp float64
+	// BytesPerOp is the B/op value; -1 when the line carried none
+	// (benchmark ran without -benchmem).
+	BytesPerOp int64
+	// AllocsPerOp is the allocs/op value; -1 when absent.
+	AllocsPerOp int64
+}
+
+// HasAllocs reports whether the line carried allocation metrics.
+func (r Result) HasAllocs() bool { return r.AllocsPerOp >= 0 }
+
+// Parse reads benchmark results from r, ignoring every non-benchmark
+// line (headers, PASS/ok trailers, log output). It never guesses from
+// column positions: a value is only taken when its unit token follows.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// ParseLine parses a single line; ok is false for non-benchmark lines.
+func ParseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false, nil
+	}
+	// The second field must be the iteration count, or this is something
+	// else (e.g. a log line that happens to start with "Benchmark...").
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{Name: fields[0], Iterations: iters, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+	// Remaining fields come in value-unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return Result{}, false, fmt.Errorf("benchparse: bad ns/op value %q in %q", value, line)
+			}
+			res.NsPerOp = v
+		case "B/op":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Result{}, false, fmt.Errorf("benchparse: bad B/op value %q in %q", value, line)
+			}
+			res.BytesPerOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Result{}, false, fmt.Errorf("benchparse: bad allocs/op value %q in %q", value, line)
+			}
+			res.AllocsPerOp = v
+		}
+	}
+	return res, true, nil
+}
+
+// Match returns the results whose Name contains substr.
+func Match(results []Result, substr string) []Result {
+	var out []Result
+	for _, r := range results {
+		if strings.Contains(r.Name, substr) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

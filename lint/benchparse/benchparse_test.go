@@ -1,0 +1,108 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// realOutput is a verbatim-shaped `go test -bench -benchmem` transcript:
+// headers, interleaved log output, sub-benchmarks with -cpu suffixes, a
+// line without -benchmem metrics, and the PASS/ok trailer.
+const realOutput = `goos: linux
+goarch: amd64
+pkg: phonocmap/internal/core
+cpu: Fake CPU @ 2.00GHz
+BenchmarkEvaluateFullVsIncremental/full-4x4-8         	  102030	     11780 ns/op	    2048 B/op	       3 allocs/op
+BenchmarkEvaluateFullVsIncremental/incremental-4x4-8  	 2508582	       478.1 ns/op	       0 B/op	       0 allocs/op
+some stray log line from the benchmark body
+BenchmarkGASearchAllocs-8                             	     100	   1204211 ns/op	   48123 B/op	     520 allocs/op
+BenchmarkNoMem-8                                      	 5000000	       240.0 ns/op
+PASS
+ok  	phonocmap/internal/core	4.512s
+`
+
+func TestParseRealOutput(t *testing.T) {
+	results, err := Parse(strings.NewReader(realOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4: %+v", len(results), results)
+	}
+
+	inc := Match(results, "incremental-4x4")
+	if len(inc) != 1 {
+		t.Fatalf("Match(incremental-4x4) = %+v, want 1 result", inc)
+	}
+	if inc[0].AllocsPerOp != 0 || inc[0].BytesPerOp != 0 {
+		t.Errorf("incremental: allocs=%d bytes=%d, want 0/0", inc[0].AllocsPerOp, inc[0].BytesPerOp)
+	}
+	if inc[0].NsPerOp != 478.1 {
+		t.Errorf("incremental: ns/op = %v, want 478.1", inc[0].NsPerOp)
+	}
+	if inc[0].Iterations != 2508582 {
+		t.Errorf("incremental: iterations = %d, want 2508582", inc[0].Iterations)
+	}
+
+	ga := Match(results, "GASearchAllocs")
+	if len(ga) != 1 || ga[0].AllocsPerOp != 520 {
+		t.Errorf("Match(GASearchAllocs) = %+v, want one result with 520 allocs/op", ga)
+	}
+
+	nomem := Match(results, "BenchmarkNoMem")
+	if len(nomem) != 1 {
+		t.Fatalf("Match(BenchmarkNoMem) = %+v, want 1 result", nomem)
+	}
+	if nomem[0].HasAllocs() {
+		t.Errorf("BenchmarkNoMem parsed without -benchmem should report HasAllocs()==false, got %+v", nomem[0])
+	}
+	if nomem[0].NsPerOp != 240.0 {
+		t.Errorf("BenchmarkNoMem: ns/op = %v, want 240.0", nomem[0].NsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	phonocmap/internal/core	4.512s",
+		"goos: linux",
+		// Starts with "Benchmark" but field 2 is not an iteration count:
+		// a log line, not a result.
+		"BenchmarkFoo failed to converge after 3 restarts",
+		"BenchmarkBare",
+	} {
+		if _, ok, err := ParseLine(line); ok || err != nil {
+			t.Errorf("ParseLine(%q) = ok=%v err=%v, want skipped", line, ok, err)
+		}
+	}
+}
+
+func TestParseLineColumnDriftImmunity(t *testing.T) {
+	// Extra metric pairs (e.g. custom b.ReportMetric output) must not
+	// shift what allocs/op means — the awk '$(NF-1)' approach this
+	// package replaces would misread this line.
+	res, ok, err := ParseLine("BenchmarkX-8  10  100 ns/op  7 evals/op  16 B/op  2 allocs/op")
+	if err != nil || !ok {
+		t.Fatalf("ParseLine: ok=%v err=%v", ok, err)
+	}
+	if res.AllocsPerOp != 2 || res.BytesPerOp != 16 || res.NsPerOp != 100 {
+		t.Errorf("got %+v, want allocs=2 bytes=16 ns=100", res)
+	}
+}
+
+func TestParseLineBadValue(t *testing.T) {
+	if _, _, err := ParseLine("BenchmarkX-8  10  oops ns/op"); err == nil {
+		t.Error("malformed ns/op value should be an error, not a silent skip")
+	}
+}
+
+func TestMatchEmpty(t *testing.T) {
+	results, err := Parse(strings.NewReader(realOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Match(results, "no-such-benchmark"); len(got) != 0 {
+		t.Errorf("Match on absent name = %+v, want empty", got)
+	}
+}

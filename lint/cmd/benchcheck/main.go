@@ -1,0 +1,71 @@
+// benchcheck gates CI on -benchmem output: it fails (exit 1) when a
+// named benchmark's allocs/op exceeds a budget, and — unlike the awk
+// pipelines it replaces — also fails when the benchmark is missing from
+// the input, so a renamed benchmark can no longer silently disable the
+// gate.
+//
+//	go test -run '^$' -bench X -benchmem ./... | tee out.txt
+//	benchcheck -bench incremental-4x4 -max-allocs 0 out.txt
+//
+// With no file argument it reads stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"phonocmap/lint/benchparse"
+)
+
+func main() {
+	bench := flag.String("bench", "", "substring of the benchmark name to gate on (required)")
+	maxAllocs := flag.Int64("max-allocs", 0, "maximum allowed allocs/op")
+	flag.Parse()
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -bench is required")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	results, err := benchparse.Parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	matched := benchparse.Match(results, *bench)
+	if len(matched) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no benchmark matching %q in input (%d results total) — the gate would be vacuous\n",
+			*bench, len(results))
+		os.Exit(1)
+	}
+	failed := false
+	for _, r := range matched {
+		if !r.HasAllocs() {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s carries no allocs/op (run with -benchmem)\n", r.Name)
+			failed = true
+			continue
+		}
+		if r.AllocsPerOp > *maxAllocs {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s allocates %d objects/op, budget is %d\n",
+				r.Name, r.AllocsPerOp, *maxAllocs)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok: %d allocs/op <= %d\n", r.Name, r.AllocsPerOp, *maxAllocs)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

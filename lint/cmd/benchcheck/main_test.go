@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+BenchmarkEvaluateFullVsIncremental/incremental-4x4-8  	 2508582	       478.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGASearchAllocs-8                             	     100	   1204211 ns/op	   48123 B/op	     520 allocs/op
+PASS
+`
+
+var buildBin string
+
+// TestMain builds the command once (go run would collapse the
+// program's exit code, which is exactly what's under test).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchcheck")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buildBin = filepath.Join(dir, "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building benchcheck: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runBenchcheck runs the built binary with the given stdin and returns
+// its combined output and exit code.
+func runBenchcheck(t *testing.T, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(buildBin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running benchcheck: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestWithinBudget(t *testing.T) {
+	out, code := runBenchcheck(t, benchOutput, "-bench", "incremental-4x4", "-max-allocs", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 allocs/op <= 0") {
+		t.Errorf("missing ok line:\n%s", out)
+	}
+}
+
+func TestOverBudget(t *testing.T) {
+	out, code := runBenchcheck(t, benchOutput, "-bench", "GASearchAllocs", "-max-allocs", "500")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocates 520 objects/op, budget is 500") {
+		t.Errorf("missing over-budget line:\n%s", out)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	// The anti-vacuity property the awk pipeline lacked: a renamed or
+	// vanished benchmark must fail the gate, not silently pass it.
+	out, code := runBenchcheck(t, benchOutput, "-bench", "renamed-benchmark", "-max-allocs", "0")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "the gate would be vacuous") {
+		t.Errorf("missing vacuity diagnostic:\n%s", out)
+	}
+}
+
+func TestMissingBenchFlagIsUsageError(t *testing.T) {
+	_, code := runBenchcheck(t, benchOutput)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 for missing -bench", code)
+	}
+}
+
+func TestMissingAllocsMetricFails(t *testing.T) {
+	out, code := runBenchcheck(t,
+		"BenchmarkNoMem-8  5000000  240.0 ns/op\nPASS\n",
+		"-bench", "NoMem", "-max-allocs", "0")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "carries no allocs/op") {
+		t.Errorf("missing no-benchmem diagnostic:\n%s", out)
+	}
+}

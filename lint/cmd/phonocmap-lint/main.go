@@ -1,0 +1,28 @@
+// phonocmap-lint is the project's static-analysis suite: five analyzers
+// that enforce the determinism, pooled-session, metric-naming,
+// error-envelope and hot-path-allocation contracts at `go vet` time.
+//
+// Run it through the vet driver so results are cached per package:
+//
+//	go build -o /tmp/phonocmap-lint phonocmap/lint/cmd/phonocmap-lint
+//	go vet -vettool=/tmp/phonocmap-lint ./...
+package main
+
+import (
+	"phonocmap/lint/analyzers/determinism"
+	"phonocmap/lint/analyzers/errenvelope"
+	"phonocmap/lint/analyzers/metricname"
+	"phonocmap/lint/analyzers/noalloc"
+	"phonocmap/lint/analyzers/poolrelease"
+	"phonocmap/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		determinism.Analyzer,
+		poolrelease.Analyzer,
+		metricname.Analyzer,
+		errenvelope.Analyzer,
+		noalloc.Analyzer,
+	)
+}

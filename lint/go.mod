@@ -1,0 +1,3 @@
+module phonocmap/lint
+
+go 1.24

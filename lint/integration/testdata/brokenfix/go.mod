@@ -1,0 +1,3 @@
+module brokenfix
+
+go 1.24

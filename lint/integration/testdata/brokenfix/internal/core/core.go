@@ -1,0 +1,11 @@
+// Package core is the broken fixture's stand-in for phonocmap's core:
+// it supplies the pooled-session surface the consumer leaks.
+package core
+
+type SwapSession struct{}
+
+func (s *SwapSession) Release() {}
+
+type Problem struct{}
+
+func (p *Problem) NewSwapSession(m []int) (*SwapSession, error) { return &SwapSession{}, nil }

@@ -1,0 +1,263 @@
+// Package unitchecker makes a phonocmap-lint binary speak the `go vet
+// -vettool` protocol using only the standard library. It is a minimal
+// re-implementation of golang.org/x/tools/go/analysis/unitchecker
+// (unavailable in this build environment), driven by the observed
+// behavior of cmd/go:
+//
+//  1. `tool -flags` must print a JSON array describing the tool's
+//     flags (ours: none).
+//  2. `tool -V=full` must print a "name version ... buildID=<hash>"
+//     line; cmd/go folds it into the vet action's cache key, so the
+//     hash must change when the tool changes — we hash the executable.
+//  3. `tool <dir>/vet.cfg` runs the analysis unit described by the JSON
+//     config: parse GoFiles, type-check against the export data in
+//     PackageFile, run the analyzers, print diagnostics to stderr as
+//     "pos: message", write the (empty) facts file to VetxOutput, and
+//     exit 2 when something was found.
+//
+// cmd/go also invokes the tool once per *dependency* package with
+// VetxOnly=true to collect cross-package facts. The phonocmap analyzers
+// are strictly package-local, so those invocations short-circuit to
+// writing an empty facts file — which is what keeps `go vet
+// -vettool=phonocmap-lint ./...` cheap even though the module's
+// dependency closure includes a large slice of the standard library.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"phonocmap/lint/analysis"
+)
+
+// Config is the JSON schema of the vet.cfg file cmd/go hands the tool,
+// one per analysis unit (package). Field names and meaning follow
+// cmd/go/internal/work's vetConfig.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool binary: it dispatches on the
+// protocol argument and never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags; cmd/go requires a valid JSON array.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(arg, "-V=") || strings.HasPrefix(arg, "--V="):
+			printVersion()
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(run(arg, analyzers))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: this is a vet tool; run it via go vet -vettool=%s ./...\n",
+		progname(), os.Args[0])
+	os.Exit(1)
+}
+
+func progname() string { return os.Args[0] }
+
+// printVersion emits the version line cmd/go hashes into the vet cache
+// key. Hashing the executable itself means rebuilding the tool (e.g.
+// after editing an analyzer) invalidates prior vet results, exactly
+// like the x/tools unitchecker.
+func printVersion() {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname(), string(h.Sum(nil)))
+}
+
+// run executes one analysis unit and returns the process exit code:
+// 0 clean, 1 operational failure, 2 diagnostics reported.
+func run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+
+	// Facts are written even when empty: cmd/go treats a missing
+	// VetxOutput as a tool failure.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+
+	// Dependency-only invocation: no local analyzers produce facts, so
+	// there is nothing to compute.
+	if cfg.VetxOnly {
+		if err := writeVetx(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typecheck %s: %v\n", progname(), cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analysis.Diagnostic
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				key := fmt.Sprintf("%s|%v|%s", a.Name, d.Pos, d.Message)
+				if !seen[key] {
+					seen[key] = true
+					diags = append(diags, d)
+				}
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", progname(), a.Name, err)
+			return 1
+		}
+	}
+
+	if err := writeVetx(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+		return 1
+	}
+
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 2
+}
+
+func readConfig(name string) (*Config, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", name, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		return nil, fmt.Errorf("no Go files in %s", name)
+	}
+	return cfg, nil
+}
+
+// typecheck type-checks the unit's files against the export data of its
+// dependencies, exactly as the compiler saw them.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer:    &mappedImporter{m: cfg.ImportMap, base: base},
+		Sizes:       types.SizesFor(compiler, goarch),
+		GoVersion:   version.Lang(cfg.GoVersion),
+		FakeImportC: true,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// mappedImporter applies the config's source-import-path -> canonical
+// package path mapping (vendoring, test variants) before delegating to
+// the export-data importer.
+type mappedImporter struct {
+	m    map[string]string
+	base types.Importer
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.base.Import(path)
+}
