@@ -1,0 +1,53 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// maxRetryBackoff caps the exponential retry curve so a large
+// configured attempt count cannot shift the base into overflow (or into
+// multi-minute sleeps).
+const maxRetryBackoff = 30 * time.Second
+
+// jitterMu guards jitterRand: the package-global math/rand functions
+// would work too, but a dedicated source keeps the client's draw
+// pattern independent of anything else in the process. (This package is
+// deliberately outside the determinism contract the lint suite enforces
+// on the compute packages — backoff is transport scheduling and can
+// never influence results.)
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitter applies "full jitter" to a backoff interval: a uniform random
+// duration in (0, d]. Deterministic exponential backoff synchronizes a
+// fleet of coordinators that all saw the same failure at the same time
+// — each retry round arrives as a thundering herd on the recovering
+// node. Full jitter decorrelates the herd while preserving the
+// exponential envelope (the expected wait halves, which retries tolerate
+// by design).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	jitterMu.Lock()
+	n := jitterRand.Int63n(int64(d))
+	jitterMu.Unlock()
+	return time.Duration(1 + n)
+}
+
+// retryDelay is the jittered exponential backoff for retry attempt
+// (0-based): full jitter over min(base << attempt, maxRetryBackoff).
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.retryBackoff
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return jitter(d)
+}

@@ -1,0 +1,75 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds pins the full-jitter contract: every draw is in
+// (0, d] — strictly positive (a zero wait would turn the poll loop into
+// a busy spin) and never beyond the exponential envelope.
+func TestJitterBounds(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Nanosecond,
+		time.Microsecond,
+		50 * time.Millisecond,
+		2 * time.Second,
+	} {
+		var min, max time.Duration = d, 0
+		for i := 0; i < 10000; i++ {
+			v := jitter(d)
+			if v <= 0 || v > d {
+				t.Fatalf("jitter(%v) = %v, want in (0, %v]", d, v, d)
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		// The draws must actually spread across the interval (full
+		// jitter, not a fixed fraction). 10k draws over a wide range
+		// land in both halves with overwhelming probability.
+		if d >= 50*time.Millisecond && (min > d/2 || max <= d/2) {
+			t.Errorf("jitter(%v) draws did not span both halves: min %v, max %v", d, min, max)
+		}
+	}
+}
+
+// TestJitterZeroAndNegative pins the degenerate inputs: no draw, value
+// passed through (time.After treats them as immediate).
+func TestJitterZeroAndNegative(t *testing.T) {
+	if v := jitter(0); v != 0 {
+		t.Errorf("jitter(0) = %v, want 0", v)
+	}
+	if v := jitter(-time.Second); v != -time.Second {
+		t.Errorf("jitter(-1s) = %v, want -1s", v)
+	}
+}
+
+// TestRetryDelayEnvelope pins the retry schedule: attempt n draws from
+// (0, min(base<<n, maxRetryBackoff)], so the envelope doubles but can
+// never overflow or exceed the cap regardless of the attempt count.
+func TestRetryDelayEnvelope(t *testing.T) {
+	c := &Client{retryBackoff: 100 * time.Millisecond}
+	for attempt, want := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	} {
+		for i := 0; i < 1000; i++ {
+			if v := c.retryDelay(attempt); v <= 0 || v > want {
+				t.Fatalf("retryDelay(%d) = %v, want in (0, %v]", attempt, v, want)
+			}
+		}
+	}
+	// A pathological attempt count must not shift into overflow: the
+	// envelope saturates at maxRetryBackoff.
+	for _, attempt := range []int{20, 63, 64, 1000} {
+		if v := c.retryDelay(attempt); v <= 0 || v > maxRetryBackoff {
+			t.Fatalf("retryDelay(%d) = %v, want in (0, %v]", attempt, v, maxRetryBackoff)
+		}
+	}
+}

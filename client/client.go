@@ -97,8 +97,9 @@ func WithMaxPollInterval(d time.Duration) Option {
 }
 
 // WithRetries configures transient-failure handling: up to attempts
-// extra tries (default 4) starting at backoff (default 100ms, doubling
-// per attempt). Idempotent calls retry on transport errors and
+// extra tries (default 4) starting at backoff (default 100ms, with the
+// exponential envelope doubling per attempt and full jitter applied to
+// each wait). Idempotent calls retry on transport errors and
 // gateway-style 5xx; submissions additionally retry queue_full (429)
 // rejections, which are safe to repeat by construction.
 func WithRetries(attempts int, backoff time.Duration) Option {
@@ -268,11 +269,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, exp
 			return code, lastErr
 		}
 		c.nRetries.Add(1)
-		backoff := c.retryBackoff << attempt
 		select {
 		case <-ctx.Done():
 			return code, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(c.retryDelay(attempt)):
 		}
 	}
 }

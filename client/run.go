@@ -205,7 +205,7 @@ func (c *Client) pollJob(ctx context.Context, id string) (service.JobStatus, err
 		select {
 		case <-ctx.Done():
 			return service.JobStatus{}, ctx.Err()
-		case <-time.After(interval):
+		case <-time.After(jitter(interval)):
 		}
 		if interval *= 2; interval > c.maxPollInterval {
 			interval = c.maxPollInterval
@@ -278,7 +278,7 @@ func (c *Client) RunSweep(ctx context.Context, spec sweep.Spec, opts runner.Swee
 		select {
 		case <-ctx.Done():
 			return c.salvageSweep(id, ctx.Err())
-		case <-time.After(interval):
+		case <-time.After(jitter(interval)):
 		}
 		if interval *= 2; interval > c.maxPollInterval {
 			interval = c.maxPollInterval
@@ -345,7 +345,7 @@ func (c *Client) salvageSweep(id string, cause error) (runner.SweepResult, error
 		select {
 		case <-ctx.Done():
 			return runner.SweepResult{}, cause
-		case <-time.After(interval):
+		case <-time.After(jitter(interval)):
 		}
 		if interval *= 2; interval > c.maxPollInterval {
 			interval = c.maxPollInterval

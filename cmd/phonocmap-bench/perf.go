@@ -9,18 +9,24 @@ package main
 // pin the trajectory across PRs.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
 	"phonocmap"
+	"phonocmap/client"
 	"phonocmap/internal/core"
+	"phonocmap/internal/fleet"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/service"
 	"phonocmap/internal/version"
 )
 
@@ -40,8 +46,16 @@ type perfReport struct {
 	// evals/sec through Context.EvaluateBatch at increasing worker
 	// counts on the densest swap-eval case. Results are bit-identical
 	// at every worker count; only throughput changes with workers (and
-	// only on multi-core runners — on one core the curve is flat).
+	// only on multi-core runners — on one core the curve is flat, and
+	// its rows carry overhead_only so nobody reads sub-1.0 "speedups"
+	// as regressions).
 	ParallelEval []parallelEvalPerf `json:"parallel_eval"`
+	// Fleet is the multi-node sweep scaling curve: cells/sec through a
+	// fleet coordinator over in-process phonocmap-serve instances at
+	// increasing fleet sizes. Results are byte-identical at every size;
+	// only throughput changes with nodes (and only on multi-core
+	// runners — overhead_only marks the flat single-core rows).
+	Fleet []fleetPerf `json:"fleet"`
 	// Algorithms is end-to-end optimizer throughput, one full run per
 	// algorithm at the same budget and seed.
 	Algorithms []algoPerf `json:"algorithms"`
@@ -61,12 +75,34 @@ type swapEvalPerf struct {
 }
 
 // parallelEvalPerf is one point of the batch-evaluation scaling curve.
+// Workers is the flag-requested count; EvalWorkers what the run
+// actually used (the context clamps to the batch size). OverheadOnly
+// marks rows measured on a single-core runner, where extra workers can
+// only add coordination overhead — their speedup column reports the
+// cost of the machinery, not parallel scaling.
 type parallelEvalPerf struct {
 	Case          string  `json:"case"`
 	Workers       int     `json:"workers"`
+	EvalWorkers   int     `json:"eval_workers"`
 	EvalsMeasured int     `json:"evals_measured"`
 	EvalsPerSec   float64 `json:"evals_per_sec"`
 	SpeedupVsOne  float64 `json:"speedup_vs_1_worker"`
+	OverheadOnly  bool    `json:"overhead_only,omitempty"`
+}
+
+// fleetPerf is one point of the fleet sweep scaling curve: a fixed
+// distinct-seed grid swept through a coordinator over Nodes in-process
+// phonocmap-serve instances (one sweep worker each). OverheadOnly has
+// the same meaning as in parallelEvalPerf: on one core more nodes
+// cannot run cells concurrently, so the row measures dispatch overhead.
+type fleetPerf struct {
+	Nodes          int     `json:"nodes"`
+	WorkersPerNode int     `json:"workers_per_node"`
+	Cells          int     `json:"cells"`
+	DurationMs     float64 `json:"duration_ms"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	SpeedupVsOne   float64 `json:"speedup_vs_1_node"`
+	OverheadOnly   bool    `json:"overhead_only,omitempty"`
 }
 
 // algoPerf is one optimizer run: evaluations per second through the
@@ -89,6 +125,8 @@ func cmdPerf(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	algos := fs.String("algos", "rs,ga,rpbla,sa,tabu,memetic", "comma-separated algorithms")
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "minimum measurement window per swap-eval case")
+	fleetCells := fs.Int("fleet-cells", 12, "distinct-seed cells in the fleet scaling sweep")
+	fleetBudget := fs.Int("fleet-budget", 400, "evaluation budget per fleet sweep cell")
 	out := fs.String("out", "", "write the snapshot to this path (default BENCH_<date>.json)")
 	toStdout := fs.Bool("json", false, "write the snapshot JSON to stdout instead of a file")
 	if err := fs.Parse(args); err != nil {
@@ -120,7 +158,10 @@ func cmdPerf(args []string) error {
 		rep.SwapEval = append(rep.SwapEval, r)
 	}
 
-	// Scaling curve on the densest case, at 1/2/4/NumCPU workers.
+	// Scaling curve on the densest case, at 1/2/4/NumCPU workers. On a
+	// single-core runner the multi-worker rows cannot speed anything up —
+	// they get overhead_only instead of a "speedup" column that would
+	// read as a regression.
 	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
 	sort.Ints(workerCounts)
 	last := swapCases[len(swapCases)-1]
@@ -134,11 +175,29 @@ func cmdPerf(args []string) error {
 		if err != nil {
 			return fmt.Errorf("parallel-eval %s x%d: %w", last.name, workers, err)
 		}
+		r.OverheadOnly = workers > 1 && runtime.NumCPU() == 1
 		rep.ParallelEval = append(rep.ParallelEval, r)
 	}
 	for i := range rep.ParallelEval {
 		if base := rep.ParallelEval[0].EvalsPerSec; base > 0 {
 			rep.ParallelEval[i].SpeedupVsOne = rep.ParallelEval[i].EvalsPerSec / base
+		}
+	}
+
+	// Fleet scaling: the same distinct-seed grid swept through 1, 2 and
+	// 4 in-process phonocmap-serve nodes. Sizes beyond 1 are marked
+	// overhead_only on single-core runners, same as parallel_eval.
+	for _, nodes := range []int{1, 2, 4} {
+		r, err := measureFleet(nodes, *fleetCells, *fleetBudget, *seed)
+		if err != nil {
+			return fmt.Errorf("fleet x%d: %w", nodes, err)
+		}
+		r.OverheadOnly = nodes > 1 && runtime.NumCPU() == 1
+		rep.Fleet = append(rep.Fleet, r)
+	}
+	for i := range rep.Fleet {
+		if base := rep.Fleet[0].CellsPerSec; base > 0 {
+			rep.Fleet[i].SpeedupVsOne = rep.Fleet[i].CellsPerSec / base
 		}
 	}
 
@@ -347,11 +406,83 @@ func measureParallelEval(name string, side, tasks, edges int, seed int64, worker
 		}
 		evals += n
 	}
+	// The context clamps workers to the batch size — report what actually
+	// ran, not just what the flag asked for.
+	used := ctx.EvalWorkers()
+	if used > len(batch) {
+		used = len(batch)
+	}
 	out := parallelEvalPerf{
-		Case: name, Workers: workers, EvalsMeasured: evals,
+		Case: name, Workers: workers, EvalWorkers: used, EvalsMeasured: evals,
 	}
 	if secs := time.Since(start).Seconds(); secs > 0 {
 		out.EvalsPerSec = float64(evals) / secs
+	}
+	return out, nil
+}
+
+// measureFleet boots nodes single-worker phonocmap-serve instances
+// in-process, shards a distinct-seed sweep across them through the
+// fleet coordinator, and reports end-to-end cells/sec. Every cell is a
+// unique computation (distinct seeds defeat both dedup and the result
+// cache), so the number is honest dispatch-plus-execution throughput.
+func measureFleet(nodes, cells, budget int, seed int64) (fleetPerf, error) {
+	servers := make([]*httptest.Server, nodes)
+	urls := make([]string, nodes)
+	for i := range servers {
+		srv := service.New(service.Config{Workers: 1})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		servers[i] = ts
+		urls[i] = ts.URL
+	}
+	fr, err := fleet.New(fleet.Config{
+		Servers:       urls,
+		ProbeInterval: 10 * time.Second,
+		ClientOptions: []client.Option{
+			client.WithPollInterval(2 * time.Millisecond),
+			client.WithoutEvents(),
+		},
+	})
+	if err != nil {
+		return fleetPerf{}, err
+	}
+	defer fr.Close()
+
+	seeds := make([]int64, cells)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	spec := phonocmap.SweepSpec{
+		Apps:       []phonocmap.AppSpec{{Builtin: "PIP"}},
+		Archs:      []phonocmap.ArchSpec{{Topology: "mesh"}},
+		Objectives: []string{"snr"},
+		Algorithms: []string{"rs"},
+		Budgets:    []int{budget},
+		Seeds:      seeds,
+	}
+	start := time.Now()
+	res, err := fr.RunSweep(context.Background(), spec, runner.SweepOptions{})
+	if err != nil {
+		return fleetPerf{}, err
+	}
+	dur := time.Since(start)
+	for _, c := range res.Cells {
+		if c.Error != "" {
+			return fleetPerf{}, fmt.Errorf("cell %d failed: %s", c.Index, c.Error)
+		}
+	}
+	out := fleetPerf{
+		Nodes: nodes, WorkersPerNode: 1, Cells: len(res.Cells),
+		DurationMs: float64(dur) / float64(time.Millisecond),
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		out.CellsPerSec = float64(len(res.Cells)) / secs
 	}
 	return out, nil
 }

@@ -120,13 +120,48 @@ func loadAppSpec(name, file string) (config.AppSpec, error) {
 	}
 }
 
+// backendChoice is the execution backend the -server/-servers flags
+// selected: in-process when both are empty, one phonocmap-serve
+// instance, or a fleet of them with cells sharded across nodes.
+type backendChoice struct {
+	server  string   // single phonocmap-serve URL
+	servers []string // fleet node URLs (from -servers)
+}
+
+// remote reports whether execution leaves the process.
+func (b backendChoice) remote() bool { return b.server != "" || len(b.servers) > 0 }
+
+// String renders the backend for status output.
+func (b backendChoice) String() string {
+	if len(b.servers) > 0 {
+		return fmt.Sprintf("fleet of %d (%s)", len(b.servers), strings.Join(b.servers, ", "))
+	}
+	return b.server
+}
+
+// parseServers splits the -servers flag's comma-separated node list,
+// trimming whitespace and dropping empty entries so trailing commas are
+// harmless.
+func parseServers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // parseMapCommand parses the 'map' subcommand's arguments into a
 // normalized scenario spec (with the built application graph, so callers
-// need not rebuild it) plus the -out path and the -server address
-// (empty = in-process execution). The spec is exactly what the
-// optimization service normalizes, so the two fronts accept the same
-// inputs and produce the same computations.
-func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, error) {
+// need not rebuild it) plus the -out path and the backend choice
+// (-server/-servers; zero value = in-process execution). The spec is
+// exactly what the optimization service normalizes, so the two fronts
+// accept the same inputs and produce the same computations.
+func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, backendChoice, error) {
 	fs := flag.NewFlagSet("map", flag.ContinueOnError)
 	app := fs.String("app", "", "bundled application name (see 'phonocmap apps')")
 	appFile := fs.String("app-file", "", "custom application JSON file")
@@ -140,12 +175,17 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 	analysesFile := fs.String("analyses", "", "post-optimization analyses JSON file (wdm, power, robustness, link_failures, sim)")
 	out := fs.String("out", "", "write the result as JSON to this file")
 	server := fs.String("server", "", "phonocmap-serve URL to execute on (default: in-process)")
+	servers := fs.String("servers", "", "comma-separated phonocmap-serve URLs to execute on as a fleet")
 	arch := addArchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return scenario.Spec{}, nil, "", "", err
+			return scenario.Spec{}, nil, "", backendChoice{}, err
 		}
-		return scenario.Spec{}, nil, "", "", fmt.Errorf("%w: %v", errFlagParse, err)
+		return scenario.Spec{}, nil, "", backendChoice{}, fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	backend := backendChoice{server: *server, servers: parseServers(*servers)}
+	if backend.server != "" && len(backend.servers) > 0 {
+		return scenario.Spec{}, nil, "", backendChoice{}, fmt.Errorf("use either -server or -servers, not both")
 	}
 	// Worker count is deliberately not part of the scenario spec: it can
 	// never change a result (sequential and parallel evaluation are
@@ -160,16 +200,16 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 		var err error
 		spec, err = config.LoadFile[scenario.Spec](*expFile)
 		if err != nil {
-			return scenario.Spec{}, nil, "", "", err
+			return scenario.Spec{}, nil, "", backendChoice{}, err
 		}
 	} else {
 		appSpec, err := loadAppSpec(*app, *appFile)
 		if err != nil {
-			return scenario.Spec{}, nil, "", "", err
+			return scenario.Spec{}, nil, "", backendChoice{}, err
 		}
 		archSpec, err := arch.spec()
 		if err != nil {
-			return scenario.Spec{}, nil, "", "", err
+			return scenario.Spec{}, nil, "", backendChoice{}, err
 		}
 		spec = scenario.Spec{
 			App:       appSpec,
@@ -183,7 +223,7 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 		if *analysesFile != "" {
 			analyses, err := config.LoadFile[scenario.AnalysesSpec](*analysesFile)
 			if err != nil {
-				return scenario.Spec{}, nil, "", "", err
+				return scenario.Spec{}, nil, "", backendChoice{}, err
 			}
 			spec.Analyses = &analyses
 		}
@@ -193,9 +233,9 @@ func parseMapCommand(args []string) (scenario.Spec, *cg.Graph, string, string, e
 	// CLI accepts exactly what the service accepts.
 	g, err := spec.Normalize()
 	if err != nil {
-		return scenario.Spec{}, nil, "", "", err
+		return scenario.Spec{}, nil, "", backendChoice{}, err
 	}
-	return spec, g, *out, *server, nil
+	return spec, g, *out, backend, nil
 }
 
 // parseMapping parses a comma-separated tile-per-task list, e.g.

@@ -40,6 +40,35 @@ func TestParseMapping(t *testing.T) {
 	}
 }
 
+func TestParseServers(t *testing.T) {
+	got := parseServers(" http://a:8080, http://b:8080 ,,")
+	want := []string{"http://a:8080", "http://b:8080"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseServers = %v, want %v", got, want)
+	}
+	if s := parseServers(""); s != nil {
+		t.Errorf("parseServers(\"\") = %v, want nil", s)
+	}
+}
+
+func TestParseMapCommandBackendFlags(t *testing.T) {
+	_, _, _, backend, err := parseMapCommand([]string{
+		"-app", "PIP", "-servers", "http://a:8080,http://b:8080",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !backend.remote() || len(backend.servers) != 2 {
+		t.Errorf("backend = %+v, want a 2-node fleet", backend)
+	}
+	// -server and -servers are mutually exclusive backends.
+	if _, _, _, _, err := parseMapCommand([]string{
+		"-app", "PIP", "-server", "http://a:8080", "-servers", "http://b:8080",
+	}); err == nil {
+		t.Error("parseMapCommand accepted -server together with -servers")
+	}
+}
+
 func TestParseMapCommandDefaults(t *testing.T) {
 	exp, _, out, _, err := parseMapCommand([]string{"-app", "VOPD"})
 	if err != nil {
@@ -236,17 +265,18 @@ func TestCmdMapMatchesScenarioPipeline(t *testing.T) {
 		"-app", "PIP", "-router", "cygnus", "-routing", "bfs",
 		"-failed-links", "1-2", "-algorithm", "rs", "-budget", "250", "-seed", "11",
 	}
-	spec, _, _, server, err := parseMapCommand(args)
+	spec, _, _, backend, err := parseMapCommand(args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if server != "" {
-		t.Fatalf("no -server flag given, parsed %q", server)
+	if backend.remote() {
+		t.Fatalf("no -server/-servers flag given, parsed %q", backend)
 	}
-	rn, err := newRunner(server)
+	rn, cleanup, err := newRunner(backend)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	res, err := rn.RunScenario(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)

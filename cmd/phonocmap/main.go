@@ -28,6 +28,7 @@ import (
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/fleet"
 	"phonocmap/internal/router"
 	"phonocmap/internal/runner"
 	"phonocmap/internal/scenario"
@@ -87,24 +88,41 @@ Commands:
   version   print the build version
 
 Most 'map' and 'simulate' work can run remotely: pass -server URL to
-execute on a phonocmap-serve instance instead of in-process.
+execute on a phonocmap-serve instance instead of in-process, or
+-servers url1,url2,... to shard across a fleet of them.
 
 Run 'phonocmap <command> -h' for command flags.`)
 }
 
-// newRunner picks the execution backend: in-process when server is
-// empty, the typed phonocmap-serve client otherwise. Both implement the
+// newRunner picks the execution backend: in-process for the zero
+// choice, the typed phonocmap-serve client for -server, a fleet
+// coordinator sharding across nodes for -servers. All implement the
 // same Runner interface and return identical results for equal specs,
-// so every command downstream of this switch is backend-agnostic.
-func newRunner(server string) (runner.Runner, error) {
-	if server == "" {
-		return runner.NewLocal(), nil
+// so every command downstream of this switch is backend-agnostic. The
+// returned cleanup releases backend resources (the fleet's health
+// prober) and is always non-nil.
+func newRunner(b backendChoice) (runner.Runner, func(), error) {
+	noop := func() {}
+	switch {
+	case len(b.servers) > 0:
+		fr, err := fleet.New(fleet.Config{Servers: b.servers})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fr, func() { _ = fr.Close() }, nil
+	case b.server != "":
+		c, err := client.New(b.server)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, noop, nil
+	default:
+		return runner.NewLocal(), noop, nil
 	}
-	return client.New(server)
 }
 
 func cmdMap(args []string) error {
-	spec, g, out, server, err := parseMapCommand(args)
+	spec, g, out, backend, err := parseMapCommand(args)
 	if errors.Is(err, flag.ErrHelp) {
 		return nil // usage already printed by the flag package
 	}
@@ -112,10 +130,11 @@ func cmdMap(args []string) error {
 		return err
 	}
 
-	rn, err := newRunner(server)
+	rn, cleanup, err := newRunner(backend)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	res, err := rn.RunScenario(context.Background(), spec)
 	if err != nil {
 		return err
@@ -131,8 +150,8 @@ func cmdMap(args []string) error {
 
 	fmt.Printf("application : %s\n", g)
 	fmt.Printf("architecture: %s\n", nw)
-	if server != "" {
-		fmt.Printf("backend     : phonocmap-serve @ %s\n", server)
+	if backend.remote() {
+		fmt.Printf("backend     : phonocmap-serve @ %s\n", backend)
 	}
 	fmt.Printf("objective   : %s   algorithm: %s   budget: %d evals   seed: %d\n",
 		spec.Objective, spec.Algorithm, spec.Budget, spec.Seed)
@@ -269,6 +288,7 @@ func cmdSimulate(args []string) error {
 	durationNs := fs.Float64("duration-ns", 200_000, "simulated time (ns)")
 	loadScale := fs.Float64("load", 1, "scale factor on CG bandwidths")
 	server := fs.String("server", "", "phonocmap-serve URL to optimize on (default: in-process); the simulation itself always runs locally")
+	servers := fs.String("servers", "", "comma-separated phonocmap-serve URLs to optimize on as a fleet")
 	arch := addArchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -295,10 +315,15 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	rn, err := newRunner(*server)
+	backend := backendChoice{server: *server, servers: parseServers(*servers)}
+	if backend.server != "" && len(backend.servers) > 0 {
+		return fmt.Errorf("use either -server or -servers, not both")
+	}
+	rn, cleanup, err := newRunner(backend)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	res, err := rn.RunScenario(context.Background(), spec)
 	if err != nil {
 		return err

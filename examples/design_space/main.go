@@ -11,10 +11,12 @@
 //
 //	go run ./examples/design_space
 //	go run ./examples/design_space -server http://localhost:8080
+//	go run ./examples/design_space -servers http://localhost:8080,http://localhost:8081
 //
 // With -server, the declarative steps (the scenario and the
 // healthy-vs-degraded sweep) execute remotely on a phonocmap-serve
-// instance through the same Runner interface — identical results.
+// instance through the same Runner interface — identical results. With
+// -servers, they shard across a fleet of instances, still identical.
 package main
 
 import (
@@ -22,15 +24,26 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"phonocmap"
 )
 
 func main() {
 	server := flag.String("server", "", "phonocmap-serve URL for the declarative steps (default: in-process)")
+	servers := flag.String("servers", "", "comma-separated phonocmap-serve URLs for the declarative steps, as a fleet")
 	flag.Parse()
 	rn := phonocmap.NewLocalRunner()
-	if *server != "" {
+	switch {
+	case *servers != "":
+		fr, err := phonocmap.NewFleetRunner(phonocmap.FleetConfig{Servers: strings.Split(*servers, ",")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fr.Close()
+		rn = fr
+		fmt.Printf("declarative steps execute on a fleet: %s\n", *servers)
+	case *server != "":
 		var err error
 		if rn, err = phonocmap.NewClient(*server); err != nil {
 			log.Fatal(err)

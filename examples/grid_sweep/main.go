@@ -5,14 +5,15 @@
 // per-application Pareto fronts.
 //
 // The grid executes through the Runner interface, so the backend is a
-// flag: in-process by default, or any phonocmap-serve instance with
-// -server — same cells, same content-addressed identities, identical
-// results.
+// flag: in-process by default, any phonocmap-serve instance with
+// -server, or a whole fleet of them with -servers — same cells, same
+// content-addressed identities, identical results at any fleet size.
 //
 // Run with:
 //
 //	go run ./examples/grid_sweep
 //	go run ./examples/grid_sweep -server http://localhost:8080
+//	go run ./examples/grid_sweep -servers http://localhost:8080,http://localhost:8081
 package main
 
 import (
@@ -20,12 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"phonocmap"
 )
 
 func main() {
 	server := flag.String("server", "", "phonocmap-serve URL to execute the grid on (default: in-process)")
+	servers := flag.String("servers", "", "comma-separated phonocmap-serve URLs to shard the grid across as a fleet")
 	flag.Parse()
 
 	spec := phonocmap.SweepSpec{
@@ -41,7 +44,16 @@ func main() {
 	}
 
 	rn := phonocmap.NewLocalRunner()
-	if *server != "" {
+	switch {
+	case *servers != "":
+		fr, err := phonocmap.NewFleetRunner(phonocmap.FleetConfig{Servers: strings.Split(*servers, ",")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fr.Close()
+		rn = fr
+		fmt.Printf("executing on a fleet: %s\n", *servers)
+	case *server != "":
 		var err error
 		if rn, err = phonocmap.NewClient(*server); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"phonocmap/internal/obs"
+)
+
+// metrics holds the coordinator's instruments. The families live on the
+// caller-provided registry (Config.Registry) so a serve binary hosting
+// a coordinator exposes them on its existing /metrics; without one they
+// register on a private registry and simply stay unexposed — the
+// dispatch path never branches on whether anyone is scraping.
+type metrics struct {
+	dispatched *obs.Counter
+	retried    *obs.Counter
+	migrated   *obs.Counter
+	deduped    *obs.Counter
+
+	nodeInflight *obs.GaugeVec
+	nodeHealthy  *obs.GaugeVec
+}
+
+// newMetrics registers the phonocmap_fleet_* families and seeds the
+// per-node children so every node is visible from the first scrape.
+func newMetrics(reg *obs.Registry, r *Runner) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &metrics{
+		dispatched: reg.Counter("phonocmap_fleet_cells_dispatched_total",
+			"Sweep cells (and single scenarios) dispatched to fleet nodes, including re-dispatches."),
+		retried: reg.Counter("phonocmap_fleet_cells_retried_total",
+			"Cell dispatches that were retries (attempt > 0) after a node-local failure."),
+		migrated: reg.Counter("phonocmap_fleet_cells_migrated_total",
+			"Cells that excluded a failing node and moved to another one."),
+		deduped: reg.Counter("phonocmap_fleet_cells_deduped_total",
+			"Sweep cells satisfied by another cell's result through content-addressed identity (never dispatched)."),
+		nodeInflight: reg.GaugeVec("phonocmap_fleet_node_inflight",
+			"Cells this coordinator currently has in flight, per node.",
+			"node"),
+		nodeHealthy: reg.GaugeVec("phonocmap_fleet_node_healthy",
+			"Node health from probing: 1 healthy, 0 draining or down.",
+			"node"),
+	}
+	reg.GaugeFn("phonocmap_fleet_nodes",
+		"Configured fleet size.",
+		func() float64 { return float64(len(r.nodes)) })
+	reg.GaugeFn("phonocmap_fleet_nodes_healthy",
+		"Nodes currently in the healthy state.",
+		func() float64 {
+			healthy := 0
+			for _, n := range r.nodes {
+				if nodeState(n.state.Load()) == stateHealthy {
+					healthy++
+				}
+			}
+			return float64(healthy)
+		})
+	for _, n := range r.nodes {
+		m.nodeInflight.With(n.url).Set(0)
+		m.nodeHealthy.With(n.url).Set(0)
+	}
+	return m
+}
+
+// setInflight publishes a node's live in-flight count.
+func (m *metrics) setInflight(n *node, v int64) {
+	m.nodeInflight.With(n.url).Set(float64(v))
+}
+
+// observeNode publishes a node's health after a probe or a dispatch
+// failure.
+func (m *metrics) observeNode(n *node) {
+	v := 0.0
+	if nodeState(n.state.Load()) == stateHealthy {
+		v = 1
+	}
+	m.nodeHealthy.With(n.url).Set(v)
+}

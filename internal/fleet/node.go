@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"phonocmap/client"
+)
+
+// nodeState is a node's position in the health state machine. States
+// order by dispatch preference: healthy nodes take new cells, draining
+// nodes (the server announced shutdown) and down nodes (probes failing)
+// are fallbacks of last resort.
+type nodeState int32
+
+const (
+	stateHealthy nodeState = iota
+	stateDraining
+	stateDown
+)
+
+// String renders the state for logs and metrics labels.
+func (s nodeState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDraining:
+		return "draining"
+	case stateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// node is one phonocmap-serve instance in the registry: two clients
+// (cached and cache-bypassing dispatch), the probed health state, and
+// the live load signals dispatch ranks on.
+type node struct {
+	index int
+	url   string
+
+	c        *client.Client
+	cNoCache *client.Client
+
+	state    atomic.Int32 // nodeState
+	failures atomic.Int32 // consecutive probe/dispatch failures
+
+	// Load signals: inflight is this coordinator's own live count;
+	// queueDepth, workersBusy and workers come from the last probe.
+	inflight    atomic.Int64
+	queueDepth  atomic.Int64
+	workersBusy atomic.Int64
+	workers     atomic.Int64
+}
+
+// newNode builds the registry entry for one server address. Nodes start
+// down — the initial probe round promotes the reachable ones before any
+// dispatch happens.
+func newNode(index int, addr string, opts []client.Option) (*node, error) {
+	c, err := client.New(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cNoCache, err := client.New(addr, append(append([]client.Option{}, opts...), client.WithNoCache())...)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{index: index, url: c.BaseURL(), c: c, cNoCache: cNoCache}
+	n.state.Store(int32(stateDown))
+	n.workers.Store(1)
+	return n, nil
+}
+
+// load is the node's dispatch rank: outstanding work (the coordinator's
+// own in-flight cells plus the node's queued and executing jobs)
+// normalized by the node's worker pool, so a 2-worker node at depth 2
+// ranks equal to an 8-worker node at depth 8.
+func (n *node) load() float64 {
+	outstanding := n.inflight.Load() + n.queueDepth.Load() + n.workersBusy.Load()
+	workers := n.workers.Load()
+	if workers < 1 {
+		workers = 1
+	}
+	return float64(outstanding) / float64(workers)
+}
+
+// probe refreshes the node's state and load signals from one /healthz
+// round trip. A success resets the failure streak; downAfter
+// consecutive failures mark the node down.
+func (n *node) probe(ctx context.Context, downAfter int) {
+	h, err := n.c.Health(ctx)
+	if err != nil {
+		if int(n.failures.Add(1)) >= downAfter {
+			n.state.Store(int32(stateDown))
+		}
+		return
+	}
+	n.failures.Store(0)
+	if h.Status == "ok" {
+		n.state.Store(int32(stateHealthy))
+	} else {
+		n.state.Store(int32(stateDraining))
+	}
+	n.queueDepth.Store(int64(h.QueueDepth))
+	n.workersBusy.Store(int64(h.WorkersBusy))
+	if h.Workers > 0 {
+		n.workers.Store(int64(h.Workers))
+	}
+}
+
+// suspect records a dispatch failure against the node: downAfter
+// consecutive failures (probe or dispatch) mark it down immediately, so
+// a dead node stops attracting cells before the next probe tick.
+func (n *node) suspect(downAfter int) {
+	if int(n.failures.Add(1)) >= downAfter {
+		n.state.Store(int32(stateDown))
+	}
+}
+
+// affinityCap bounds the content-key affinity memo. When full, the memo
+// resets wholesale: affinity is a cache-hit optimization, not
+// correctness, and wholesale reset is allocation-cheaper than LRU
+// bookkeeping per dispatch.
+const affinityCap = 4096
+
+// affinityMap remembers which node served each content key, so a
+// repeated cell lands on the node whose result cache already holds it.
+type affinityMap struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]int
+}
+
+func newAffinityMap(capacity int) *affinityMap {
+	return &affinityMap{cap: capacity, m: make(map[string]int)}
+}
+
+func (a *affinityMap) get(key string) (int, bool) {
+	a.mu.RLock()
+	i, ok := a.m[key]
+	a.mu.RUnlock()
+	return i, ok
+}
+
+func (a *affinityMap) put(key string, nodeIndex int) {
+	a.mu.Lock()
+	if len(a.m) >= a.cap {
+		clear(a.m)
+	}
+	a.m[key] = nodeIndex
+	a.mu.Unlock()
+}

@@ -170,6 +170,46 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return &ch.c
 }
 
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*gaugeChild
+}
+
+type gaugeChild struct {
+	values []string
+	g      Gauge
+}
+
+// NewGaugeVec returns a standalone labeled gauge family.
+func NewGaugeVec(labels ...string) *GaugeVec {
+	mustLabels(labels)
+	return &GaugeVec{labels: labels, children: make(map[string]*gaugeChild)}
+}
+
+// With returns the gauge for the given label values (created on first
+// use). The number of values must match the declared labels.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return &ch.g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; !ok {
+		ch = &gaugeChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.g
+}
+
 // HistogramVec is a family of histograms partitioned by label values,
 // sharing one bucket layout.
 type HistogramVec struct {
@@ -301,6 +341,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeVec creates and registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := NewGaugeVec(labels...)
+	r.MustRegister(name, help, v)
+	return v
+}
+
 // GaugeFn registers a callback-backed gauge.
 func (r *Registry) GaugeFn(name, help string, fn func() float64) {
 	r.MustRegister(name, help, GaugeFunc(fn))
@@ -422,6 +469,29 @@ func (v *CounterVec) write(w io.Writer, name string) error {
 func (v *CounterVec) sortedChildren() []*counterChild {
 	v.mu.RLock()
 	out := make([]*counterChild, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, labelSep) < strings.Join(out[j].values, labelSep)
+	})
+	return out
+}
+
+func (v *GaugeVec) metricType() string { return "gauge" }
+func (v *GaugeVec) write(w io.Writer, name string) error {
+	for _, ch := range v.sortedChildren() {
+		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", name, renderLabels(v.labels, ch.values), formatFloat(ch.g.Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *GaugeVec) sortedChildren() []*gaugeChild {
+	v.mu.RLock()
+	out := make([]*gaugeChild, 0, len(v.children))
 	for _, ch := range v.children {
 		out = append(out, ch)
 	}

@@ -63,6 +63,9 @@ func TestRegistryExposition(t *testing.T) {
 	cv.With("GET /x", "404").Inc()
 	hv := r.HistogramVec("test_latency_seconds", "Latency.", []float64{0.01, 0.1}, "endpoint")
 	hv.With("GET /x").Observe(0.05)
+	gv := r.GaugeVec("test_inflight", "In-flight.", "node")
+	gv.With("b").Set(2)
+	gv.With("a").Set(1.5)
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
@@ -80,6 +83,8 @@ func TestRegistryExposition(t *testing.T) {
 		"test_latency_seconds_bucket{endpoint=\"GET /x\",le=\"+Inf\"} 1\n",
 		"test_latency_seconds_sum{endpoint=\"GET /x\"} 0.05\n",
 		"test_latency_seconds_count{endpoint=\"GET /x\"} 1\n",
+		// GaugeVec children sort by label values for deterministic scrapes.
+		"# TYPE test_inflight gauge\ntest_inflight{node=\"a\"} 1.5\ntest_inflight{node=\"b\"} 2\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q in:\n%s", want, out)
@@ -205,6 +210,7 @@ func TestConcurrentHammer(t *testing.T) {
 	g := r.Gauge("hammer_level", "")
 	h := r.Histogram("hammer_seconds", "", []float64{0.5})
 	cv := r.CounterVec("hammer_by_kind_total", "", "kind")
+	gv := r.GaugeVec("hammer_kind_level", "", "kind")
 	hv := r.HistogramVec("hammer_kind_seconds", "", []float64{0.5}, "kind")
 	r.GaugeFn("hammer_live", "", func() float64 { return float64(c.Value()) })
 
@@ -219,6 +225,7 @@ func TestConcurrentHammer(t *testing.T) {
 				g.Add(1)
 				h.Observe(float64(j%2) * 0.9)
 				cv.With(kind).Inc()
+				gv.With(kind).Add(1)
 				hv.With(kind).Observe(0.25)
 				if j%500 == 0 {
 					var b strings.Builder
@@ -243,11 +250,16 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d", h.Count(), total)
 	}
 	var sum int64
+	var gsum float64
 	for i := 0; i < 4; i++ {
 		sum += cv.With(fmt.Sprintf("k%d", i)).Value()
+		gsum += gv.With(fmt.Sprintf("k%d", i)).Value()
 	}
 	if sum != total {
 		t.Errorf("vec counters sum to %d, want %d", sum, total)
+	}
+	if gsum != float64(total) {
+		t.Errorf("vec gauges sum to %v, want %v", gsum, float64(total))
 	}
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {

@@ -107,7 +107,7 @@ func (l *Local) RunSweep(ctx context.Context, spec sweep.Spec, opts SweepOptions
 	}
 	var onCell func(sweep.Result)
 	if opts.OnCellDone != nil {
-		onCell = func(r sweep.Result) { opts.OnCellDone(cellResult(r)) }
+		onCell = func(r sweep.Result) { opts.OnCellDone(CellResult(r)) }
 	}
 	results, err := sweep.Run(cells, runCell, sweep.Options{
 		Workers:    opts.Workers,
@@ -118,10 +118,20 @@ func (l *Local) RunSweep(ctx context.Context, spec sweep.Spec, opts SweepOptions
 		return SweepResult{}, err
 	}
 
+	return AssembleSweep(results), nil
+}
+
+// AssembleSweep folds per-cell engine results (in cell-index order) into
+// the interface's SweepResult: every cell converted, successful
+// uncancelled cells aggregated through the sweep engine — the single
+// assembly path every backend shares, so Local, the remote client's
+// server and a fleet of servers produce byte-identical sweeps from equal
+// per-cell results.
+func AssembleSweep(results []sweep.Result) SweepResult {
 	out := SweepResult{Cells: make([]SweepCellResult, 0, len(results))}
 	agg := make([]sweep.Result, 0, len(results))
 	for _, r := range results {
-		out.Cells = append(out.Cells, cellResult(r))
+		out.Cells = append(out.Cells, CellResult(r))
 		if r.Err == nil && !r.Run.Cancelled {
 			agg = append(agg, r)
 		}
@@ -130,11 +140,11 @@ func (l *Local) RunSweep(ctx context.Context, spec sweep.Spec, opts SweepOptions
 	out.BudgetCurves = sweep.BudgetCurves(agg)
 	out.Pareto = sweep.AnnotatedParetoFronts(agg)
 	out.Analysis = sweep.AnalysisSummary(agg)
-	return out, nil
+	return out
 }
 
-// cellResult converts an engine result into the interface shape.
-func cellResult(r sweep.Result) SweepCellResult {
+// CellResult converts an engine result into the interface shape.
+func CellResult(r sweep.Result) SweepCellResult {
 	cr := SweepCellResult{Index: r.Index, Cell: r.Cell}
 	if r.Err != nil {
 		cr.Error = r.Err.Error()

@@ -234,12 +234,17 @@ type Health struct {
 	// Version is the build's version string (module version, VCS
 	// revision, or "devel"), so fleet dashboards can tell instances
 	// apart.
-	Version       string        `json:"version"`
-	Workers       int           `json:"workers"`
-	QueueDepth    int           `json:"queue_depth"`
-	QueueCapacity int           `json:"queue_capacity"`
-	Jobs          map[State]int `json:"jobs"`
-	Cache         CacheStats    `json:"cache"`
+	Version string `json:"version"`
+	Workers int    `json:"workers"`
+	// WorkersBusy and WorkerUtilization expose live execution load so a
+	// fleet coordinator can pick the least-loaded node from one cheap
+	// healthz probe instead of parsing the full /metrics exposition.
+	WorkersBusy       int           `json:"workers_busy"`
+	WorkerUtilization float64       `json:"worker_utilization"`
+	QueueDepth        int           `json:"queue_depth"`
+	QueueCapacity     int           `json:"queue_capacity"`
+	Jobs              map[State]int `json:"jobs"`
+	Cache             CacheStats    `json:"cache"`
 	// TotalEvals counts mapping evaluations actually performed since the
 	// server started (finished jobs plus in-flight progress; cache hits
 	// replay without evaluating and do not count). EvalsPerSec is the

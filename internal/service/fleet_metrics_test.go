@@ -1,0 +1,165 @@
+// The fleet coordinator's metric families ride on a host server's
+// registry (fleet.Config.Registry), so their exposition contract is
+// pinned here next to the server's own families. The test lives in an
+// external package because the in-package tests cannot import
+// internal/fleet: fleet depends on the client SDK, which depends on
+// this package's API types.
+package service_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"phonocmap/client"
+	"phonocmap/internal/config"
+	"phonocmap/internal/fleet"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/service"
+	"phonocmap/internal/sweep"
+)
+
+// fleetMetricFamilies is the documented contract of the
+// phonocmap_fleet_* exposition: every family a hosted coordinator adds
+// to the server's /metrics, with its type.
+var fleetMetricFamilies = map[string]string{
+	"phonocmap_fleet_cells_dispatched_total": "counter",
+	"phonocmap_fleet_cells_retried_total":    "counter",
+	"phonocmap_fleet_cells_migrated_total":   "counter",
+	"phonocmap_fleet_cells_deduped_total":    "counter",
+	"phonocmap_fleet_node_inflight":          "gauge",
+	"phonocmap_fleet_node_healthy":           "gauge",
+	"phonocmap_fleet_nodes":                  "gauge",
+	"phonocmap_fleet_nodes_healthy":          "gauge",
+}
+
+// scrapeFamilies fetches /metrics and returns family -> type plus
+// series -> value, with just enough parsing for the assertions below
+// (the strict line-shape validation lives in the in-package suite).
+func scrapeFamilies(t *testing.T, base string) (map[string]string, map[string]float64) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics returned %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]string)
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) == 2 {
+				types[parts[0]] = parts[1]
+			}
+		case strings.HasPrefix(line, "#"):
+		default:
+			idx := strings.LastIndexByte(line, ' ')
+			if idx < 0 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			f, err := strconv.ParseFloat(line[idx+1:], 64)
+			if err != nil {
+				t.Fatalf("sample %q has unparseable value: %v", line, err)
+			}
+			samples[line[:idx]] = f
+		}
+	}
+	return types, samples
+}
+
+// TestFleetMetricsExposition hosts a coordinator on one server's
+// registry, sweeps through a two-node fleet, and asserts every
+// phonocmap_fleet_* family appears on that server's /metrics with the
+// right type and with counters reflecting the sweep that ran.
+func TestFleetMetricsExposition(t *testing.T) {
+	// The host: the server whose /metrics the coordinator publishes on.
+	// It is also the fleet's first node, the common production shape —
+	// a serve instance coordinating itself plus peers.
+	newServer := func(workers int) (*service.Server, *httptest.Server) {
+		srv := service.New(service.Config{Workers: workers})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		return srv, ts
+	}
+	host, hostTS := newServer(1)
+	_, peerTS := newServer(1)
+
+	fr, err := fleet.New(fleet.Config{
+		Servers:       []string{hostTS.URL, peerTS.URL},
+		ProbeInterval: 10 * time.Second,
+		Registry:      host.MetricsRegistry(),
+		ClientOptions: []client.Option{client.WithPollInterval(5 * time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fr.Close() })
+
+	grid := sweep.Spec{
+		Apps:       []config.AppSpec{{Builtin: "PIP"}},
+		Objectives: []string{"snr"},
+		Algorithms: []string{"rs"},
+		Budgets:    []int{150},
+		Seeds:      []int64{1, 2, 3, 4},
+	}
+	res, err := fr.RunSweep(context.Background(), grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %d failed: %s", c.Index, c.Error)
+		}
+	}
+
+	types, samples := scrapeFamilies(t, hostTS.URL)
+	for family, wantType := range fleetMetricFamilies {
+		if got, ok := types[family]; !ok {
+			t.Errorf("family %s missing from the host's /metrics", family)
+		} else if got != wantType {
+			t.Errorf("family %s has type %q, want %q", family, got, wantType)
+		}
+	}
+	if v := samples["phonocmap_fleet_cells_dispatched_total"]; v < 4 {
+		t.Errorf("phonocmap_fleet_cells_dispatched_total = %v, want >= 4", v)
+	}
+	if v := samples["phonocmap_fleet_nodes"]; v != 2 {
+		t.Errorf("phonocmap_fleet_nodes = %v, want 2", v)
+	}
+	if v := samples["phonocmap_fleet_nodes_healthy"]; v != 2 {
+		t.Errorf("phonocmap_fleet_nodes_healthy = %v, want 2 (both nodes probed up)", v)
+	}
+	// The per-node vectors carry one child per configured node.
+	for _, url := range []string{hostTS.URL, peerTS.URL} {
+		series := `phonocmap_fleet_node_healthy{node="` + url + `"}`
+		if v, ok := samples[series]; !ok {
+			t.Errorf("series %s missing", series)
+		} else if v != 1 {
+			t.Errorf("%s = %v, want 1", series, v)
+		}
+		inflight := `phonocmap_fleet_node_inflight{node="` + url + `"}`
+		if v, ok := samples[inflight]; !ok {
+			t.Errorf("series %s missing", inflight)
+		} else if v != 0 {
+			t.Errorf("%s = %v, want 0 after the sweep drained", inflight, v)
+		}
+	}
+}

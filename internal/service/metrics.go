@@ -100,6 +100,12 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.cache.size()) })
 }
 
+// MetricsRegistry exposes the server's metric registry so co-located
+// components (a fleet coordinator embedding a node in-process, extra
+// collectors in the serve binary) can register additional families onto
+// the same /metrics exposition.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics.reg }
+
 // totalEvalsNow is the single evaluation-count truth /healthz and
 // /metrics share: evaluations folded from finished jobs plus the live
 // jobs' in-flight progress. The folded counter is read BEFORE the scan:

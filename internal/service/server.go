@@ -763,16 +763,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	uptime := time.Since(s.started).Seconds()
 	perSec := s.evalsPerSec(total)
+	busy := int(s.metrics.workersBusy.Value())
 	writeJSON(w, http.StatusOK, Health{
-		Status:        status,
-		Version:       version.String(),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueSize,
-		Jobs:          counts,
-		Cache:         s.cache.stats(),
-		TotalEvals:    total,
-		EvalsPerSec:   perSec,
-		UptimeSec:     uptime,
+		Status:            status,
+		Version:           version.String(),
+		Workers:           s.cfg.Workers,
+		WorkersBusy:       busy,
+		WorkerUtilization: float64(busy) / float64(s.cfg.Workers),
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     s.cfg.QueueSize,
+		Jobs:              counts,
+		Cache:             s.cache.stats(),
+		TotalEvals:        total,
+		EvalsPerSec:       perSec,
+		UptimeSec:         uptime,
 	})
 }

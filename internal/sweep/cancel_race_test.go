@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"phonocmap/internal/core"
+	"phonocmap/internal/scenario"
+)
+
+// These tests pin ForEach/Run cancellation behavior under concurrency —
+// the CI race step runs this package with -race, which is the point:
+// the fleet coordinator's migration path retries cells through ForEach
+// and depends on completed work surviving a mid-shard cancellation
+// without data races on the shared result slices.
+
+// TestForEachParentCancelMidShardRace cancels the parent context while
+// workers are mid-item: in-flight items finish (each callback runs to
+// completion exactly once), unfed items are never started, and ForEach
+// reports the parent's cancellation.
+func TestForEachParentCancelMidShardRace(t *testing.T) {
+	const n, workers = 200, 8
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		started   atomic.Int64
+		completed atomic.Int64
+		ran       [n]atomic.Int32
+		release   = make(chan struct{})
+		once      sync.Once
+	)
+	err := ForEach(ctx, n, workers, func(fnCtx context.Context, i int) error {
+		started.Add(1)
+		ran[i].Add(1)
+		// The first full wave parks until the parent dies, so the cancel
+		// is guaranteed to land while every worker is mid-item.
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		completed.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach returned %v, want context.Canceled", err)
+	}
+	if s, c := started.Load(), completed.Load(); s != c {
+		t.Errorf("started %d items but completed %d: an in-flight item was abandoned", s, c)
+	}
+	// Cancellation mid-shard must stop the feeder: with 8 workers and an
+	// immediate cancel, nowhere near all 200 items may start.
+	if s := started.Load(); s == n {
+		t.Errorf("all %d items started despite mid-shard cancellation", n)
+	}
+	for i := range ran {
+		if c := ran[i].Load(); c > 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestForEachWorkerErrorPropagationRace: a failing item cancels the
+// pool from inside a worker while its siblings are running; the first
+// error (and only an error, never a spurious context cancellation) is
+// returned, and the failure's cancellation reaches the other workers'
+// contexts.
+func TestForEachWorkerErrorPropagationRace(t *testing.T) {
+	const n, workers = 200, 8
+	boom := errors.New("boom")
+	var sawCancel atomic.Bool
+	err := ForEach(context.Background(), n, workers, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			sawCancel.Store(true)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ForEach returned %v, want the worker's error", err)
+	}
+	// Not asserted strictly (scheduling may finish fast items first),
+	// but exercised under -race: workers observing the internal cancel
+	// concurrently with the error write is the race this test hunts.
+	_ = sawCancel.Load()
+}
+
+// TestRunParentCancelPreservesCompletedCells is the fleet retry path's
+// dependency stated as a contract: when the sweep context dies mid-run,
+// every cell that completed keeps its full Result (run and report), and
+// only unstarted cells record the cancellation as their Err.
+func TestRunParentCancelPreservesCompletedCells(t *testing.T) {
+	const n, workers, settleAt = 64, 4, 8
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i].Seed = int64(i) // distinguishable results
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var settled atomic.Int64
+	results, err := Run(cells, func(fnCtx context.Context, c Cell) (core.RunResult, *scenario.Report, error) {
+		if settled.Add(1) == settleAt {
+			cancel()
+		}
+		if fnCtx.Err() != nil {
+			// Mirrors a real runner racing the cancel: cancelled before any
+			// evaluation reports the cancellation as an error.
+			return core.RunResult{}, nil, fnCtx.Err()
+		}
+		return core.RunResult{Seed: c.Seed, Evals: 1}, nil, nil
+	}, Options{Workers: workers, Context: ctx})
+	if err != nil {
+		t.Fatalf("Run returned %v; cell and cancellation outcomes belong in the results", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+
+	var ok, cancelled int
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d: order must be preserved", i, r.Index)
+		}
+		switch {
+		case r.Err == nil:
+			ok++
+			if r.Run.Seed != cells[i].Seed || r.Run.Evals != 1 {
+				t.Errorf("completed cell %d lost its result: %+v", i, r.Run)
+			}
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("cell %d has unexpected error %v", i, r.Err)
+		}
+	}
+	if ok == 0 {
+		t.Error("no completed cells survived the cancellation")
+	}
+	if cancelled == 0 {
+		t.Error("no cell recorded the cancellation")
+	}
+	if ok+cancelled != n {
+		t.Errorf("completed (%d) + cancelled (%d) != %d", ok, cancelled, n)
+	}
+}
+
+// TestRunWorkerPanicFreeErrorRace floods Run with failing cells from
+// every worker at once: each failure must land in its own Result (the
+// engine returns no error), with OnCellDone fired exactly once per
+// cell from concurrent workers.
+func TestRunWorkerPanicFreeErrorRace(t *testing.T) {
+	const n, workers = 100, 8
+	cells := make([]Cell, n)
+	var callbacks atomic.Int64
+	results, err := Run(cells, func(ctx context.Context, c Cell) (core.RunResult, *scenario.Report, error) {
+		return core.RunResult{}, nil, fmt.Errorf("cell failure")
+	}, Options{
+		Workers:    workers,
+		OnCellDone: func(Result) { callbacks.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("Run returned %v, want nil (failures live in Results)", err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("cell %d lost its failure", i)
+		}
+	}
+	if c := callbacks.Load(); c != n {
+		t.Errorf("OnCellDone fired %d times, want %d", c, n)
+	}
+}

@@ -23,10 +23,11 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `enforce the phonocmap_* metric naming contract at registration sites
 
 Names passed to obs.Registry registration methods (MustRegister, Counter,
-CounterVec, CounterFn, Gauge, GaugeFn, Histogram, HistogramVec) must be
-compile-time string constants matching ^phonocmap_[a-z0-9_]+$ and unique
-within the registering package. Label keys of CounterVec/HistogramVec
-(and the standalone NewCounterVec/NewHistogramVec constructors) must be
+CounterVec, CounterFn, Gauge, GaugeVec, GaugeFn, Histogram, HistogramVec)
+must be compile-time string constants matching ^phonocmap_[a-z0-9_]+$ and
+unique within the registering package. Label keys of
+CounterVec/GaugeVec/HistogramVec (and the standalone
+NewCounterVec/NewGaugeVec/NewHistogramVec constructors) must be
 compile-time string constants matching ^[a-z][a-z0-9_]*$.`,
 	Run: run,
 }
@@ -46,6 +47,7 @@ var registryMethods = map[string]int{
 	"GaugeFn":      -1,
 	"Histogram":    -1,
 	"CounterVec":   2,
+	"GaugeVec":     2,
 	"HistogramVec": 3,
 }
 
@@ -53,6 +55,7 @@ var registryMethods = map[string]int{
 // their first label-key argument.
 var standaloneVecs = map[string]int{
 	"NewCounterVec":   0,
+	"NewGaugeVec":     0,
 	"NewHistogramVec": 1,
 }
 

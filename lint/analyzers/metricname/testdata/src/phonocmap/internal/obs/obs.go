@@ -16,6 +16,8 @@ func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
 
 func (r *Registry) CounterVec(name, help string, labels ...string) *Counter { return &Counter{} }
 
+func (r *Registry) GaugeVec(name, help string, labels ...string) *Counter { return &Counter{} }
+
 func (r *Registry) Histogram(name, help string, buckets []float64) *Counter { return &Counter{} }
 
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *Counter {
@@ -23,6 +25,8 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 }
 
 func NewCounterVec(labels ...string) *Counter { return &Counter{} }
+
+func NewGaugeVec(labels ...string) *Counter { return &Counter{} }
 
 func NewHistogramVec(buckets []float64, labels ...string) *Counter { return &Counter{} }
 

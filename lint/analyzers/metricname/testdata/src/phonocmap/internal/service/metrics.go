@@ -15,12 +15,16 @@ func register(suffix string, labels []string) {
 	reg.CounterVec("phonocmap_rpcs_total", "rpcs", "endpoint", "code")
 	reg.CounterVec("phonocmap_bad_labels_total", "bad", "Endpoint") // want `label key "Endpoint" does not match`
 	reg.HistogramVec("phonocmap_eval_ms", "evals", nil, "endpoint")
+	reg.GaugeVec("phonocmap_node_inflight", "inflight", "node")
+	reg.GaugeVec("phonocmap_bad_gauge", "bad", "No de")         // want `label key "No de" does not match`
 	reg.CounterVec("phonocmap_splat_total", "splat", labels...) // want "cannot be statically bounded"
 }
 
 func standalone() {
 	_ = obs.NewCounterVec("endpoint")
 	_ = obs.NewCounterVec("en dpoint") // want `label key "en dpoint" does not match`
+	_ = obs.NewGaugeVec("node")
+	_ = obs.NewGaugeVec("9node") // want `label key "9node" does not match`
 	_ = obs.NewHistogramVec(nil, "code")
 }
 

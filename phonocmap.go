@@ -30,6 +30,7 @@ import (
 	"phonocmap/internal/cg"
 	"phonocmap/internal/config"
 	"phonocmap/internal/core"
+	"phonocmap/internal/fleet"
 	"phonocmap/internal/network"
 	"phonocmap/internal/photonic"
 	"phonocmap/internal/power"
@@ -168,6 +169,15 @@ type (
 	// implements Runner and adds server-specific calls (Health,
 	// CancelJob, CancelSweep).
 	Client = client.Client
+	// FleetRunner is the multi-node execution backend: a coordinator
+	// sharding sweep cells across several phonocmap-serve instances with
+	// health probing, least-loaded dispatch, retry with node exclusion
+	// and content-addressed dedup — while producing results
+	// byte-identical to NewLocalRunner at any fleet size.
+	FleetRunner = fleet.Runner
+	// FleetConfig configures a FleetRunner (node list, probe cadence,
+	// retry bounds, per-node client options, metrics registry).
+	FleetConfig = fleet.Config
 )
 
 // Objective values.
@@ -394,6 +404,15 @@ func NewLocalRunner() Runner { return runner.NewLocal() }
 // directly for the full SDK surface (Health, CancelJob, CancelSweep).
 func NewClient(serverURL string, opts ...client.Option) (Runner, error) {
 	return client.New(serverURL, opts...)
+}
+
+// NewFleetRunner returns the fleet execution backend: a coordinator
+// over the phonocmap-serve instances at serverURLs, implementing the
+// same Runner interface with results byte-identical to NewLocalRunner
+// for equal specs at any fleet size. Close it when done to stop the
+// health prober.
+func NewFleetRunner(cfg FleetConfig) (*FleetRunner, error) {
+	return fleet.New(cfg)
 }
 
 // RunExperiment executes a declarative experiment description end to end
