@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"phonocmap/internal/config"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/scenario"
+	"phonocmap/internal/service"
+	"phonocmap/internal/store"
+)
+
+// restartSpecs is the workload replayed across restarts: distinct
+// topologies, objectives, algorithms, islands mode and a full analysis
+// report, so byte-identity is checked over every payload shape the
+// store persists.
+func restartSpecs() []scenario.Spec {
+	return []scenario.Spec{
+		{
+			App: config.AppSpec{Builtin: "PIP"}, Objective: "snr",
+			Algorithm: "rs", Budget: 200, Seed: 1,
+		},
+		{
+			App:  config.AppSpec{Builtin: "PIP"},
+			Arch: config.ArchSpec{Topology: "torus"}, Objective: "loss",
+			Algorithm: "rpbla", Budget: 200, Seed: 2,
+		},
+		{
+			App: config.AppSpec{Builtin: "MWD"}, Objective: "snr",
+			Algorithm: "rs", Budget: 150, Seed: 3, Seeds: 2,
+			Analyses: &scenario.AnalysesSpec{
+				WDM:   &scenario.WDMSpec{},
+				Power: &scenario.PowerSpec{},
+			},
+		},
+	}
+}
+
+// bootNode opens the persistent store in dir and starts a fresh service
+// over it — one "process lifetime" of a serve node.
+func bootNode(t *testing.T, dir string, cacheSize int) (*Client, *service.Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 2, CacheSize: cacheSize, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	c, err := New(ts.URL, WithPollInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv, ts
+}
+
+// stopNode shuts a node down gracefully: the write-behind queue drains
+// and the store closes, exactly like a serve process handling SIGTERM.
+func stopNode(t *testing.T, srv *service.Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartDifferential is the persistence acceptance test: a node is
+// restarted mid-benchmark (same cache directory, fresh process) and the
+// replayed results are byte-identical to the originals — no field
+// stripping, wall clock included, because a cache replay preserves the
+// live run verbatim. The restarted node must answer from the store
+// (store hit counters increment) without recomputing (evals_total stays
+// zero).
+func TestRestartDifferential(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	specs := restartSpecs()
+
+	// Node lifetime 1: compute everything live.
+	c1, srv1, ts1 := bootNode(t, dir, 0)
+	originals := make([]runner.ScenarioResult, len(specs))
+	for i, spec := range specs {
+		res, err := c1.RunScenario(ctx, spec)
+		if err != nil {
+			t.Fatalf("live run %d: %v", i, err)
+		}
+		originals[i] = res
+	}
+	h1, err := c1.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.TotalEvals == 0 {
+		t.Fatal("node 1 reports zero evaluations after live runs")
+	}
+	stopNode(t, srv1, ts1)
+
+	// Node lifetime 2: same directory, fresh process, warmed LRU.
+	c2, srv2, ts2 := bootNode(t, dir, 0)
+	for i, spec := range specs {
+		res, err := c2.RunScenario(ctx, spec)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		jsonDiff(t, "restart replay", res, originals[i])
+	}
+	h2, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TotalEvals != 0 {
+		t.Errorf("restarted node recomputed: evals_total = %d, want 0", h2.TotalEvals)
+	}
+	if h2.Cache.Store == nil {
+		t.Fatal("restarted node reports no store tier")
+	}
+	if h2.Cache.Store.Hits == 0 {
+		t.Error("restarted node answered without touching the store")
+	}
+	if h2.Cache.Store.Entries != len(specs) {
+		t.Errorf("store entries = %d, want %d", h2.Cache.Store.Entries, len(specs))
+	}
+	if h2.Cache.Hits < uint64(len(specs)) {
+		t.Errorf("cache hits = %d, want >= %d", h2.Cache.Hits, len(specs))
+	}
+	stopNode(t, srv2, ts2)
+
+	// Node lifetime 3: disk-only (memory tier disabled) — every request
+	// reads through the store directly, same byte-identity.
+	c3, srv3, ts3 := bootNode(t, dir, -1)
+	for i, spec := range specs {
+		res, err := c3.RunScenario(ctx, spec)
+		if err != nil {
+			t.Fatalf("disk-only replay %d: %v", i, err)
+		}
+		jsonDiff(t, "disk-only replay", res, originals[i])
+	}
+	h3, err := c3.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.TotalEvals != 0 {
+		t.Errorf("disk-only node recomputed: evals_total = %d, want 0", h3.TotalEvals)
+	}
+	if h3.Cache.Store == nil || h3.Cache.Store.Hits < uint64(len(specs)) {
+		t.Errorf("disk-only store hits = %+v, want >= %d", h3.Cache.Store, len(specs))
+	}
+	if h3.Cache.Size != 0 {
+		t.Errorf("disk-only node holds %d memory entries, want 0", h3.Cache.Size)
+	}
+	stopNode(t, srv3, ts3)
+}

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	phonocmap-serve [-addr :8080] [-workers N] [-eval-workers 1] [-queue 64]
-//	                [-cache 256] [-log-level info] [-debug-addr :6060]
+//	                [-cache 256] [-cache-dir /var/lib/phonocmap] [-cache-disk-max 512MiB]
+//	                [-log-level info] [-debug-addr :6060]
+//
+// -cache-dir enables the persistent result store: completed runs are
+// persisted to a content-addressed directory and survive restarts — on
+// boot the most recent entries are warmed back into the in-memory LRU
+// and repeated submissions replay byte-identical results without
+// recomputing. -cache-disk-max caps the store's size on disk (accepts
+// plain bytes or KiB/MiB/GiB suffixes; 0 = unbounded), evicting the
+// oldest entries past the cap.
 //
 // Example session:
 //
@@ -33,10 +42,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"phonocmap/internal/service"
+	"phonocmap/internal/store"
 	"phonocmap/internal/version"
 )
 
@@ -53,6 +64,38 @@ func parseLevel(s string) (slog.Level, error) {
 		return slog.LevelError, nil
 	}
 	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// parseSize parses a -cache-disk-max value: plain bytes or a KiB, MiB or
+// GiB suffix (KB/MB/GB accepted as the same power-of-two units). Empty
+// means unbounded.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 1073741824, 512MiB, 2GiB)", s)
+	}
+	return n * mult, nil
 }
 
 // debugMux builds the pprof handler set on its own mux, so the debug
@@ -73,7 +116,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	evalWorkers := flag.Int("eval-workers", 1, "evaluation workers per run (never changes results, only throughput)")
 	queue := flag.Int("queue", 64, "job queue capacity")
-	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables the memory tier)")
+	cacheDir := flag.String("cache-dir", "", "persist results to this directory (empty = memory-only cache)")
+	cacheDiskMax := flag.String("cache-disk-max", "", "cap the persistent store's disk usage (e.g. 512MiB, 2GiB; empty or 0 = unbounded)")
 	maxBudget := flag.Int("max-budget", 5_000_000, "largest accepted per-seed evaluation budget")
 	maxSeeds := flag.Int("max-seeds", 64, "largest accepted island count per job")
 	maxSweepCells := flag.Int("max-sweep-cells", 1024, "largest accepted sweep grid size (cells)")
@@ -110,12 +155,33 @@ func main() {
 		}()
 	}
 
+	var st store.Store
+	if *cacheDir != "" {
+		maxBytes, err := parseSize(*cacheDiskMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phonocmap-serve:", err)
+			os.Exit(2)
+		}
+		fs, err := store.OpenFile(*cacheDir, store.FileOptions{MaxBytes: maxBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phonocmap-serve:", err)
+			os.Exit(2)
+		}
+		logger.Info("persistent result store open",
+			"dir", *cacheDir, "entries", fs.Len(), "max_bytes", maxBytes)
+		st = fs
+	} else if *cacheDiskMax != "" {
+		fmt.Fprintln(os.Stderr, "phonocmap-serve: -cache-disk-max requires -cache-dir")
+		os.Exit(2)
+	}
+
 	srv := service.New(service.Config{
 		Addr:          *addr,
 		Workers:       *workers,
 		EvalWorkers:   *evalWorkers,
 		QueueSize:     *queue,
 		CacheSize:     *cache,
+		Store:         st,
 		MaxBudget:     *maxBudget,
 		MaxSeeds:      *maxSeeds,
 		MaxSweepCells: *maxSweepCells,

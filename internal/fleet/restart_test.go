@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phonocmap/client"
+	"phonocmap/internal/runner"
+	"phonocmap/internal/service"
+	"phonocmap/internal/store"
+)
+
+// swapHandler is a stable HTTP front whose backing handler can be
+// replaced atomically — it keeps a node's URL constant across a
+// "process restart", the way a restarted serve binary rebinds the same
+// address.
+type swapHandler struct {
+	h atomic.Value // http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// bootStoreNode starts one service lifetime over the persistent store
+// in dir.
+func bootStoreNode(t *testing.T, dir string) *service.Server {
+	t.Helper()
+	st, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.New(service.Config{Workers: 1, Store: st})
+}
+
+// nodeHealth fetches a node's /healthz.
+func nodeHealth(t *testing.T, base string) service.Health {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestRestartDifferentialFleet runs the differential sweep through a
+// fleet of 2 nodes with per-node persistent stores, restarts one node
+// (graceful shutdown, fresh process over the same cache directory, same
+// URL), and sweeps again: the second sweep must be byte-identical to
+// the local reference and fully cache-served — the survivor's
+// evaluation counter does not move and the restarted node answers from
+// its warmed store without evaluating at all.
+func TestRestartDifferentialFleet(t *testing.T) {
+	grid := diffGrid()
+	local, err := runner.NewLocal().RunSweep(context.Background(), grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+
+	dirB := t.TempDir()
+	srvA := bootStoreNode(t, t.TempDir())
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	srvB := bootStoreNode(t, dirB)
+	swap := &swapHandler{}
+	swap.h.Store(srvB.Handler())
+	tsB := httptest.NewServer(swap)
+	defer tsB.Close()
+
+	fr, err := New(Config{
+		Servers:       []string{tsA.URL, tsB.URL},
+		ProbeInterval: 10 * time.Second,
+		ClientOptions: []client.Option{
+			client.WithPollInterval(5 * time.Millisecond),
+			client.WithRetries(1, 5*time.Millisecond),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+
+	first, err := fr.RunSweep(context.Background(), grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatalf("first fleet sweep: %v", err)
+	}
+	jsonDiff(t, "fleet sweep before restart", first, local)
+
+	evalsA := nodeHealth(t, tsA.URL).TotalEvals
+	evalsB := nodeHealth(t, tsB.URL).TotalEvals
+	if evalsA+evalsB == 0 {
+		t.Fatal("first sweep performed no evaluations")
+	}
+	if evalsB == 0 {
+		t.Fatal("node B received no cells; the restart proves nothing")
+	}
+
+	// Restart node B: graceful shutdown (drains the write-behind queue,
+	// closes the store), then a fresh service over the same directory
+	// takes over the same URL.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srvB.Shutdown(shutdownCtx); err != nil {
+		cancel()
+		t.Fatalf("node B shutdown: %v", err)
+	}
+	cancel()
+	srvB2 := bootStoreNode(t, dirB)
+	swap.h.Store(srvB2.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srvB2.Shutdown(ctx)
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel2()
+		_ = srvA.Shutdown(ctx2)
+	}()
+
+	hB := nodeHealth(t, tsB.URL)
+	if hB.Cache.Store == nil || hB.Cache.Store.Entries == 0 {
+		t.Fatalf("restarted node B store is empty: %+v", hB.Cache.Store)
+	}
+
+	second, err := fr.RunSweep(context.Background(), grid, runner.SweepOptions{})
+	if err != nil {
+		t.Fatalf("second fleet sweep: %v", err)
+	}
+	jsonDiff(t, "fleet sweep after restart", second, local)
+
+	// No recomputation anywhere: the survivor's evaluation counter is
+	// unchanged and the restarted node never evaluated — its answers came
+	// from the persistent store (hit counter incremented).
+	if after := nodeHealth(t, tsA.URL).TotalEvals; after != evalsA {
+		t.Errorf("node A evals went %d -> %d; the second sweep recomputed", evalsA, after)
+	}
+	hB2 := nodeHealth(t, tsB.URL)
+	if hB2.TotalEvals != 0 {
+		t.Errorf("restarted node B evals_total = %d, want 0", hB2.TotalEvals)
+	}
+	if hB2.Cache.Store == nil || hB2.Cache.Store.Hits == 0 {
+		t.Error("restarted node B answered without store hits")
+	}
+}

@@ -21,6 +21,8 @@
 //	GET    /v1/algorithms      available algorithms   -> []string
 //	GET    /v1/routers         built-in optical routers -> []RouterInfo
 //	GET    /v1/topologies      built-in topology kinds  -> []string
+//	GET    /v1/cache           cache + store statistics -> CacheStats
+//	DELETE /v1/cache           empty both cache tiers   -> CacheClearResult
 //	GET    /healthz            liveness + pool stats  -> Health
 //
 // The list endpoints accept ?status=<state> and ?limit=<n> filters

@@ -2,20 +2,46 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"phonocmap/internal/core"
 	"phonocmap/internal/obs"
 	"phonocmap/internal/scenario"
+	"phonocmap/internal/store"
 )
 
-// CacheStats summarizes result-cache effectiveness for /healthz.
+// CacheStats summarizes result-cache effectiveness for /healthz and
+// GET /v1/cache.
 type CacheStats struct {
 	Size      int    `json:"size"`
 	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Store describes the persistent tier; nil when the server runs
+	// memory-only (no -cache-dir).
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats summarizes the persistent store tier: lookup traffic
+// (gets/hits — warming loads count, they are real store reads), write
+// traffic (puts are completed write-behind persists, pending is the
+// write-behind backlog), failures, and the store's own size and
+// maintenance counters.
+type StoreStats struct {
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Gets        uint64 `json:"gets"`
+	Hits        uint64 `json:"hits"`
+	Puts        uint64 `json:"puts"`
+	Errors      uint64 `json:"errors"`
+	Evictions   uint64 `json:"evictions"`
+	Quarantined uint64 `json:"quarantined"`
+	Pending     int64  `json:"pending_writes"`
+	Warmed      int    `json:"warmed"`
 }
 
 // cacheEntry is one cached computation: the winning run, its convergence
@@ -33,10 +59,15 @@ type cacheEntry struct {
 	report      *scenario.Report
 }
 
-// resultCache is a bounded LRU of completed results. Optimization runs
-// are deterministic in their spec, so entries never go stale; the bound
-// only caps memory. Effectiveness counters are obs instruments so
-// /healthz and /metrics read one source of truth.
+// resultCache is the service's two-tier result cache: a bounded
+// in-memory LRU in front of a persistent content-addressed store.
+// Optimization runs are deterministic in their spec, so entries never go
+// stale; the LRU bound only caps memory and the store makes completed
+// work survive restarts. Reads are read-through (an LRU miss consults
+// the store and promotes the hit); writes are write-behind (the worker
+// returns as soon as the LRU holds the entry, a background writer
+// persists it). Effectiveness counters are obs instruments so /healthz
+// and /metrics read one source of truth.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -46,58 +77,304 @@ type resultCache struct {
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
+
+	// store is never nil (store.Null when no persistence is configured);
+	// hasStore gates the read-through/write-behind paths so a memory-only
+	// cache costs exactly what it did before the store tier existed.
+	store    store.Store
+	hasStore bool
+
+	storeGets   *obs.Counter
+	storeHits   *obs.Counter
+	storePuts   *obs.Counter
+	storeErrors *obs.Counter
+
+	pending atomic.Int64 // write-behind backlog (queued + in flight)
+	warmed  atomic.Int64 // entries preloaded by boot-time warming
+
+	writes chan *cacheEntry
+	quit   chan struct{}
+	writer sync.WaitGroup
+	closed atomic.Bool
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
-		cap:       capacity,
-		ll:        list.New(),
-		items:     make(map[string]*list.Element, capacity),
-		hits:      obs.NewCounter(),
-		misses:    obs.NewCounter(),
-		evictions: obs.NewCounter(),
+// writeBacklog bounds the write-behind queue. Past it, the enqueueing
+// worker persists synchronously instead — bounded memory, no loss.
+const writeBacklog = 256
+
+func newResultCache(capacity int, st store.Store) *resultCache {
+	if st == nil {
+		st = store.Null{}
 	}
+	_, isNull := st.(store.Null)
+	c := &resultCache{
+		cap:         capacity,
+		ll:          list.New(),
+		items:       make(map[string]*list.Element, max(capacity, 0)),
+		hits:        obs.NewCounter(),
+		misses:      obs.NewCounter(),
+		evictions:   obs.NewCounter(),
+		store:       st,
+		hasStore:    !isNull,
+		storeGets:   obs.NewCounter(),
+		storeHits:   obs.NewCounter(),
+		storePuts:   obs.NewCounter(),
+		storeErrors: obs.NewCounter(),
+		writes:      make(chan *cacheEntry, writeBacklog),
+		quit:        make(chan struct{}),
+	}
+	if c.hasStore {
+		c.writer.Add(1)
+		go c.writeLoop()
+	}
+	return c
 }
 
-// get returns the cached result for key, refreshing its recency.
+// get returns the cached result for key, refreshing its recency. An LRU
+// miss consults the persistent store (read-through) and promotes a disk
+// hit into the LRU, so a restarted node answers repeated specs from disk
+// without recomputing.
 func (c *resultCache) get(key string) (core.RunResult, []TraceEvent, []int, *scenario.Report, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses.Inc()
-		return core.RunResult{}, nil, nil, nil, false
+	if el, ok := c.items[key]; ok {
+		c.hits.Inc()
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		res, trace, islands, report := e.res, e.trace, e.islandEvals, e.report
+		c.mu.Unlock()
+		return res, trace, islands, report, true
 	}
-	c.hits.Inc()
-	c.ll.MoveToFront(el)
-	e := el.Value.(*cacheEntry)
-	return e.res, e.trace, e.islandEvals, e.report, true
+	c.mu.Unlock()
+
+	if c.hasStore {
+		c.storeGets.Inc()
+		se, ok, err := c.store.Get(key)
+		if err != nil {
+			c.storeErrors.Inc()
+		}
+		if ok {
+			c.storeHits.Inc()
+			c.hits.Inc()
+			e := &cacheEntry{key: key, res: se.Result, trace: se.Trace, islandEvals: se.IslandEvals, report: se.Report}
+			c.insert(e)
+			return e.res, e.trace, e.islandEvals, e.report, true
+		}
+	}
+	c.misses.Inc()
+	return core.RunResult{}, nil, nil, nil, false
 }
 
-// put stores a completed result, evicting the least recently used entry
-// when the cache is full.
+// put stores a completed result in both tiers: the LRU immediately
+// (evicting the least recently used entry when full), the persistent
+// store asynchronously off the request path. A zero-or-negative LRU
+// capacity disables only the memory tier — with a store attached the
+// result still writes through to disk and the put still counts, so a
+// disk-only cache configuration is not a silent drop.
 func (c *resultCache) put(key string, res core.RunResult, trace []TraceEvent, islandEvals []int, report *scenario.Report) {
+	e := &cacheEntry{key: key, res: res, trace: trace, islandEvals: islandEvals, report: report}
+	if c.cap > 0 {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			el.Value = e
+		} else {
+			c.items[key] = c.ll.PushFront(e)
+			for c.ll.Len() > c.cap {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.items, oldest.Value.(*cacheEntry).key)
+				c.evictions.Inc()
+			}
+		}
+		c.mu.Unlock()
+	}
+	if c.hasStore {
+		c.enqueueWrite(e)
+	}
+}
+
+// insert adds an entry to the LRU without touching the hit/miss/put
+// counters — the promotion path of read-through gets and boot warming.
+func (c *resultCache) insert(e *cacheEntry) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := c.items[e.key]; ok {
 		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		e.res = res
-		e.trace = trace
-		e.islandEvals = islandEvals
-		e.report = report
+		el.Value = e
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, trace: trace, islandEvals: islandEvals, report: report})
+	c.items[e.key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 		c.evictions.Inc()
 	}
+}
+
+// enqueueWrite hands an entry to the background writer. When the
+// backlog is full (or the cache is closing) the write happens
+// synchronously on the caller — persistence is never silently dropped.
+func (c *resultCache) enqueueWrite(e *cacheEntry) {
+	c.pending.Add(1)
+	if c.closed.Load() {
+		c.persist(e)
+		return
+	}
+	select {
+	case c.writes <- e:
+	default:
+		c.persist(e)
+	}
+}
+
+// writeLoop is the write-behind goroutine: it drains the queue until
+// close asks it to finish whatever is already enqueued and exit.
+func (c *resultCache) writeLoop() {
+	defer c.writer.Done()
+	for {
+		select {
+		case e := <-c.writes:
+			c.persist(e)
+		case <-c.quit:
+			for {
+				select {
+				case e := <-c.writes:
+					c.persist(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// persist writes one entry to the store and settles its pending slot.
+func (c *resultCache) persist(e *cacheEntry) {
+	defer c.pending.Add(-1)
+	err := c.store.Put(e.key, store.Entry{
+		Key:         e.key,
+		Result:      e.res,
+		Trace:       e.trace,
+		IslandEvals: e.islandEvals,
+		Report:      e.report,
+	})
+	if err != nil {
+		c.storeErrors.Inc()
+		return
+	}
+	c.storePuts.Inc()
+}
+
+// flush blocks until the write-behind backlog is empty — the boundary a
+// graceful shutdown needs so a restarted node finds everything the old
+// one completed.
+func (c *resultCache) flush() {
+	for c.pending.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// close drains the write-behind queue and closes the store. Idempotent.
+func (c *resultCache) close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	if c.hasStore {
+		close(c.quit)
+		c.writer.Wait()
+		c.flush() // synchronous fallbacks still in flight
+	}
+	_ = c.store.Close()
+}
+
+// warm preloads the most recently persisted entries into the LRU —
+// bounded by limit and the LRU capacity — so a restarted node's hottest
+// keys hit memory from the first request. Entries are loaded with
+// bounded concurrency (decode dominates) and then inserted oldest-first,
+// preserving store recency as LRU recency. Honors ctx: cancellation
+// stops loading and warms whatever already arrived. Returns the number
+// of entries warmed.
+func (c *resultCache) warm(ctx context.Context, limit, workers int) int {
+	if !c.hasStore || c.cap <= 0 {
+		return 0
+	}
+	keys := c.store.Keys() // newest first
+	n := min(limit, c.cap)
+	if n <= 0 || n > len(keys) {
+		n = min(len(keys), c.cap)
+	}
+	keys = keys[:n]
+	if len(keys) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+
+	loaded := make([]*cacheEntry, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, key := range keys {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.storeGets.Inc()
+			se, ok, err := c.store.Get(key)
+			if err != nil {
+				c.storeErrors.Inc()
+			}
+			if !ok {
+				return
+			}
+			c.storeHits.Inc()
+			loaded[i] = &cacheEntry{key: key, res: se.Result, trace: se.Trace, islandEvals: se.IslandEvals, report: se.Report}
+		}(i, key)
+	}
+	wg.Wait()
+
+	warmed := 0
+	for i := len(loaded) - 1; i >= 0; i-- { // oldest first → newest ends most recent
+		if loaded[i] == nil {
+			continue
+		}
+		c.insert(loaded[i])
+		warmed++
+	}
+	c.warmed.Add(int64(warmed))
+	return warmed
+}
+
+// clear empties both tiers, returning (memory entries, store entries)
+// removed — the DELETE /v1/cache admin operation. The write-behind
+// backlog is flushed first so an in-flight persist cannot resurrect a
+// just-cleared key.
+func (c *resultCache) clear() (int, int) {
+	c.flush()
+	c.mu.Lock()
+	memory := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, max(c.cap, 0))
+	c.mu.Unlock()
+	persisted := 0
+	if c.hasStore {
+		for _, key := range c.store.Keys() {
+			if err := c.store.Delete(key); err != nil {
+				c.storeErrors.Inc()
+				continue
+			}
+			persisted++
+		}
+	}
+	return memory, persisted
 }
 
 // size reads the live entry count.
@@ -107,6 +384,29 @@ func (c *resultCache) size() int {
 	return c.ll.Len()
 }
 
+// storeStats snapshots the persistent tier (nil when memory-only).
+func (c *resultCache) storeStats() *StoreStats {
+	if !c.hasStore {
+		return nil
+	}
+	st := StoreStats{
+		Entries: c.store.Len(),
+		Gets:    uint64(c.storeGets.Value()),
+		Hits:    uint64(c.storeHits.Value()),
+		Puts:    uint64(c.storePuts.Value()),
+		Errors:  uint64(c.storeErrors.Value()),
+		Pending: c.pending.Load(),
+		Warmed:  int(c.warmed.Load()),
+	}
+	if sr, ok := c.store.(store.StatReader); ok {
+		s := sr.Stats()
+		st.Bytes = s.Bytes
+		st.Evictions = s.Evictions
+		st.Quarantined = s.Quarantined
+	}
+	return &st
+}
+
 func (c *resultCache) stats() CacheStats {
 	return CacheStats{
 		Size:      c.size(),
@@ -114,5 +414,6 @@ func (c *resultCache) stats() CacheStats {
 		Hits:      uint64(c.hits.Value()),
 		Misses:    uint64(c.misses.Value()),
 		Evictions: uint64(c.evictions.Value()),
+		Store:     c.storeStats(),
 	}
 }

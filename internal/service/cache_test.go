@@ -10,7 +10,7 @@ import (
 )
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	res := func(cost float64) core.RunResult {
 		return core.RunResult{Score: core.Score{Cost: cost}}
 	}
@@ -50,7 +50,7 @@ func TestResultCacheLRU(t *testing.T) {
 }
 
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(-1)
+	c := newResultCache(-1, nil)
 	c.put("a", core.RunResult{}, nil, []int{1}, nil)
 	if _, _, _, _, ok := c.get("a"); ok {
 		t.Error("disabled cache stored an entry")
@@ -69,7 +69,7 @@ func TestResultCacheConcurrentHammer(t *testing.T) {
 		iters      = 400
 		keySpace   = 64 // >> capacity: constant eviction pressure
 	)
-	c := newResultCache(capacity)
+	c := newResultCache(capacity, nil)
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)

@@ -9,6 +9,7 @@ import (
 
 	"phonocmap/internal/core"
 	"phonocmap/internal/obs"
+	"phonocmap/internal/store"
 )
 
 // serverMetrics holds the service's directly-updated instruments; the
@@ -98,6 +99,39 @@ func (s *Server) initMetrics() {
 	reg.GaugeFn("phonocmap_cache_entries",
 		"Result-cache entries currently held.",
 		func() float64 { return float64(s.cache.size()) })
+	// Persistent store tier. Always registered so the exposition shape is
+	// stable: without -cache-dir every family reads zero.
+	reg.CounterFn("phonocmap_store_gets_total",
+		"Persistent-store lookups (LRU misses read through, warming loads count too).",
+		func() float64 { return float64(s.cache.storeGets.Value()) })
+	reg.CounterFn("phonocmap_store_hits_total",
+		"Persistent-store lookups that found an entry.",
+		func() float64 { return float64(s.cache.storeHits.Value()) })
+	reg.CounterFn("phonocmap_store_puts_total",
+		"Results persisted to the store (completed write-behind writes).",
+		func() float64 { return float64(s.cache.storePuts.Value()) })
+	reg.CounterFn("phonocmap_store_errors_total",
+		"Persistent-store operations that failed (I/O errors, quarantined corrupt entries).",
+		func() float64 { return float64(s.cache.storeErrors.Value()) })
+	reg.CounterFn("phonocmap_store_evictions_total",
+		"Entries the store evicted to stay under its size cap.",
+		func() float64 {
+			if sr, ok := s.cache.store.(store.StatReader); ok {
+				return float64(sr.Stats().Evictions)
+			}
+			return 0
+		})
+	reg.GaugeFn("phonocmap_store_entries",
+		"Entries currently persisted in the store.",
+		func() float64 { return float64(s.cache.store.Len()) })
+	reg.GaugeFn("phonocmap_store_bytes",
+		"Total bytes the persisted entries occupy on disk.",
+		func() float64 {
+			if sr, ok := s.cache.store.(store.StatReader); ok {
+				return float64(sr.Stats().Bytes)
+			}
+			return 0
+		})
 }
 
 // MetricsRegistry exposes the server's metric registry so co-located

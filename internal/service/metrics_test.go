@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"phonocmap/internal/store"
 )
 
 // metricFamilies is the documented contract of GET /metrics: every
@@ -36,6 +38,13 @@ var metricFamilies = map[string]string{
 	"phonocmap_cache_misses_total":     "counter",
 	"phonocmap_cache_evictions_total":  "counter",
 	"phonocmap_cache_entries":          "gauge",
+	"phonocmap_store_gets_total":       "counter",
+	"phonocmap_store_hits_total":       "counter",
+	"phonocmap_store_puts_total":       "counter",
+	"phonocmap_store_errors_total":     "counter",
+	"phonocmap_store_evictions_total":  "counter",
+	"phonocmap_store_entries":          "gauge",
+	"phonocmap_store_bytes":            "gauge",
 }
 
 // scrapeMetrics fetches /metrics and parses the exposition strictly:
@@ -179,6 +188,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	expect("phonocmap_evals_total", 200)
 	atLeast("phonocmap_uptime_seconds", 0)
 	atLeast("phonocmap_evals_per_sec", 0)
+	// No -cache-dir in this server: the store families are exposed but
+	// read zero.
+	expect("phonocmap_store_gets_total", 0)
+	expect("phonocmap_store_hits_total", 0)
+	expect("phonocmap_store_puts_total", 0)
+	expect("phonocmap_store_errors_total", 0)
+	expect("phonocmap_store_evictions_total", 0)
+	expect("phonocmap_store_entries", 0)
+	expect("phonocmap_store_bytes", 0)
 
 	// Per-endpoint accounting: the first submission was accepted with
 	// 202, the cache replay answered 200 on the same route, and the
@@ -205,6 +223,62 @@ func TestMetricsEndpoint(t *testing.T) {
 		if strings.HasPrefix(series, `phonocmap_http_request_seconds_bucket{endpoint="POST /v1/jobs"`) && v > count {
 			t.Errorf("bucket %s = %v exceeds count %v", series, v, count)
 		}
+	}
+}
+
+// TestMetricsWithStore scrapes a server backed by a file store: the
+// store families must reflect the persisted traffic, not read zero.
+func TestMetricsWithStore(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir(), store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 2, Store: st})
+	base := ts.URL
+
+	req := Request{Objective: "snr", Algorithm: "rs", Budget: 200, Seed: 1}
+	req.App.Builtin = "PIP"
+	var submitted JobStatus
+	doJSON(t, http.MethodPost, base+"/v1/jobs", req, &submitted)
+	pollUntil(t, base, submitted.ID, 60*time.Second, func(s JobStatus) bool {
+		return s.State.Terminal()
+	})
+	srv.cache.flush() // settle the write-behind before scraping
+
+	_, samples := scrapeMetrics(t, base)
+	if samples["phonocmap_store_puts_total"] != 1 {
+		t.Errorf("store_puts_total = %v, want 1", samples["phonocmap_store_puts_total"])
+	}
+	if samples["phonocmap_store_entries"] != 1 {
+		t.Errorf("store_entries = %v, want 1", samples["phonocmap_store_entries"])
+	}
+	if samples["phonocmap_store_bytes"] <= 0 {
+		t.Errorf("store_bytes = %v, want > 0", samples["phonocmap_store_bytes"])
+	}
+	if samples["phonocmap_store_errors_total"] != 0 {
+		t.Errorf("store_errors_total = %v, want 0", samples["phonocmap_store_errors_total"])
+	}
+
+	// GET /v1/cache mirrors the same truth as JSON.
+	var cs CacheStats
+	if code := doJSON(t, http.MethodGet, base+"/v1/cache", nil, &cs); code != http.StatusOK {
+		t.Fatalf("GET /v1/cache returned %d", code)
+	}
+	if cs.Store == nil || cs.Store.Puts != 1 || cs.Store.Entries != 1 {
+		t.Errorf("cache stats store section = %+v, want 1 put / 1 entry", cs.Store)
+	}
+
+	// DELETE /v1/cache empties both tiers.
+	var cleared CacheClearResult
+	if code := doJSON(t, http.MethodDelete, base+"/v1/cache", nil, &cleared); code != http.StatusOK {
+		t.Fatalf("DELETE /v1/cache returned %d", code)
+	}
+	if cleared.ClearedEntries != 1 || cleared.ClearedStore != 1 {
+		t.Errorf("clear result = %+v, want 1/1", cleared)
+	}
+	_, samples = scrapeMetrics(t, base)
+	if samples["phonocmap_store_entries"] != 0 || samples["phonocmap_cache_entries"] != 0 {
+		t.Error("tiers not empty after DELETE /v1/cache")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"phonocmap/internal/core"
 	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
+	"phonocmap/internal/store"
 	"phonocmap/internal/sweep"
 	"phonocmap/internal/version"
 )
@@ -36,8 +37,14 @@ type Config struct {
 	// byte-identical whatever the setting.
 	EvalWorkers int
 	// CacheSize bounds the result cache entries (default 256; negative
-	// disables caching).
+	// disables the in-memory tier — with a Store attached the cache then
+	// runs disk-only: results persist and replay, nothing stays resident).
 	CacheSize int
+	// Store is the persistent result store behind the in-memory cache
+	// (read-through on miss, write-behind on completion, warmed at boot).
+	// Nil means memory-only. The server takes ownership: Shutdown drains
+	// pending writes and closes it.
+	Store store.Store
 	// MaxJobs bounds the job registry; the oldest finished jobs are
 	// evicted past it (default 1024).
 	MaxJobs int
@@ -137,7 +144,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		queue:   make(chan *Job, cfg.QueueSize),
-		cache:   newResultCache(cfg.CacheSize),
+		cache:   newResultCache(cfg.CacheSize, cfg.Store),
 		logger:  cfg.Logger,
 		baseCtx: ctx,
 		stop:    cancel,
@@ -149,13 +156,21 @@ func New(cfg Config) *Server {
 	s.initMetrics()
 	s.routes()
 	s.handler = s.instrument(s.mux)
+	// Boot-time cache warming: preload the most recently persisted
+	// results into the LRU (bounded concurrency; decode dominates) so a
+	// restarted node's hottest keys hit memory from the first request.
+	// Read-through would answer them from disk anyway — warming only
+	// moves that cost from the first requests to boot.
+	if warmed := s.cache.warm(ctx, cfg.CacheSize, cfg.Workers); warmed > 0 {
+		s.logger.Info("result cache warmed from store", "entries", warmed)
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	s.logger.Info("server started",
 		"workers", cfg.Workers, "queue_size", cfg.QueueSize, "cache_size", cfg.CacheSize,
-		"eval_workers", cfg.EvalWorkers)
+		"eval_workers", cfg.EvalWorkers, "persistent_store", cfg.Store != nil)
 	return s
 }
 
@@ -172,6 +187,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/routers", s.handleRouters)
@@ -246,6 +263,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case j := <-s.queue:
 			j.Cancel()
 		default:
+			// Drain the write-behind backlog and close the persistent
+			// store: everything the workers completed is durable before
+			// Shutdown returns, so a restarted node with the same cache
+			// directory replays all of it.
+			s.cache.close()
 			return err
 		}
 	}
@@ -728,6 +750,29 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	sw.Cancel()
 	writeJSON(w, http.StatusOK, sw.status())
+}
+
+// handleCacheStats serves GET /v1/cache: both cache tiers' live
+// statistics — the admin view of hit rates, the write-behind backlog and
+// the persistent store's size.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.stats())
+}
+
+// CacheClearResult is the DELETE /v1/cache payload: how many entries
+// each tier dropped.
+type CacheClearResult struct {
+	ClearedEntries int `json:"cleared_entries"`
+	ClearedStore   int `json:"cleared_store_entries"`
+}
+
+// handleCacheClear serves DELETE /v1/cache: empty both tiers. The
+// results themselves are deterministic in their specs, so clearing is
+// always safe — subsequent submissions recompute (and re-persist).
+func (s *Server) handleCacheClear(w http.ResponseWriter, _ *http.Request) {
+	memory, persisted := s.cache.clear()
+	s.logger.Info("result cache cleared", "memory_entries", memory, "store_entries", persisted)
+	writeJSON(w, http.StatusOK, CacheClearResult{ClearedEntries: memory, ClearedStore: persisted})
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {

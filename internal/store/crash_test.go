@@ -1,0 +1,171 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failingWriter dies after n bytes — a disk filling up (or losing
+// power) mid-write.
+type failingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("injected write failure")
+	}
+	if len(p) > f.n {
+		n, _ := f.w.Write(p[:f.n])
+		f.n = 0
+		return n, errors.New("injected write failure")
+	}
+	f.n -= len(p)
+	return f.w.Write(p)
+}
+
+// TestCrashMidPutWriter kills the write mid-Put through the writer
+// seam: Put must fail cleanly, leave no temp debris, and every other
+// key must replay verbatim after reopening.
+func TestCrashMidPutWriter(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := map[string]Entry{}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		e := sampleEntry(k, i)
+		if err := f.Put(k, e); err != nil {
+			t.Fatal(err)
+		}
+		survivors[k] = e
+	}
+
+	f.wrapWriter = func(w io.Writer) io.Writer { return &failingWriter{w: w, n: 40} }
+	if err := f.Put("victim", sampleEntry("victim", 99)); err == nil {
+		t.Fatal("Put with a dying writer reported success")
+	}
+	f.wrapWriter = nil
+	f.Close()
+
+	// Reopen: the victim never existed, nothing is quarantined (the
+	// temp file never reached a live name), and the survivors are
+	// byte-identical.
+	f2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := f2.Get("victim"); ok {
+		t.Error("half-written entry became visible")
+	}
+	if st := f2.Stats(); st.Quarantined != 0 {
+		t.Errorf("quarantined = %d, want 0 (temp files are removed, not quarantined)", st.Quarantined)
+	}
+	assertSurvivorsVerbatim(t, f2, survivors)
+	assertNoTempFiles(t, dir)
+}
+
+// TestCrashMidPutRename simulates the machine dying between the data
+// write and its durability: the hook truncates the temp file before
+// renaming it into place, so a torn entry lands under a live name. On
+// reopen it must be quarantined while every other key replays verbatim
+// — the satellite crash-safety contract.
+func TestCrashMidPutRename(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := map[string]Entry{}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		e := sampleEntry(k, i)
+		if err := f.Put(k, e); err != nil {
+			t.Fatal(err)
+		}
+		survivors[k] = e
+	}
+
+	f.renameHook = func(oldpath, newpath string) error {
+		info, err := os.Stat(oldpath)
+		if err != nil {
+			return err
+		}
+		if err := os.Truncate(oldpath, info.Size()/2); err != nil {
+			return err
+		}
+		return os.Rename(oldpath, newpath)
+	}
+	// The live process cannot tell: the rename "succeeded".
+	if err := f.Put("victim", sampleEntry("victim", 99)); err != nil {
+		t.Fatalf("torn put unexpectedly errored in-process: %v", err)
+	}
+	f.renameHook = nil
+	f.Close()
+
+	f2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := f2.Get("victim"); ok {
+		t.Error("torn entry served after reopen")
+	}
+	if st := f2.Stats(); st.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if st := f2.Stats(); st.Entries != len(survivors) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(survivors))
+	}
+	assertSurvivorsVerbatim(t, f2, survivors)
+
+	// A third open must not re-quarantine (the torn file is gone).
+	f2.Close()
+	f3, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := f3.Stats(); st.Quarantined != 0 || st.Entries != len(survivors) {
+		t.Errorf("third open stats = %+v, want 0 quarantined / %d entries", st, len(survivors))
+	}
+}
+
+func assertSurvivorsVerbatim(t *testing.T, f *File, survivors map[string]Entry) {
+	t.Helper()
+	for k, want := range survivors {
+		got, ok, err := f.Get(k)
+		if !ok || err != nil {
+			t.Errorf("survivor %s lost (ok=%v err=%v)", k, ok, err)
+			continue
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if string(gb) != string(wb) {
+			t.Errorf("survivor %s changed:\ngot  %s\nwant %s", k, gb, wb)
+		}
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

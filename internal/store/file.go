@@ -1,0 +1,358 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileOptions tunes a file-backed store. The zero value is valid:
+// unbounded size.
+type FileOptions struct {
+	// MaxBytes caps the total payload bytes on disk; past it, Put evicts
+	// the oldest-mtime entries until the store fits again. 0 or negative
+	// means unbounded.
+	MaxBytes int64
+}
+
+// File is the stdlib-only file-backed Store: one entry per file under a
+// sharded content-addressed layout,
+//
+//	<dir>/<shard>/<name>.entry
+//
+// where name is the hex SHA-256 of the key (so arbitrary keys are
+// filesystem-safe) and shard is its first two hex characters (bounded
+// fan-out per directory). Writes are atomic — encode, write to a
+// temporary file in the same shard, fsync, rename — so a crash never
+// leaves a half-written entry under a live name; whatever does end up
+// damaged (torn by an unsynced crash, bit-rotted, truncated) is detected
+// by the header checksum and moved to <dir>/quarantine instead of being
+// served, both at open and on the Get that trips over it.
+type File struct {
+	dir  string
+	opts FileOptions
+
+	mu          sync.Mutex
+	index       map[string]*fileMeta
+	bytes       int64
+	evictions   uint64
+	quarantined uint64
+	closed      bool
+	tmpSeq      uint64
+
+	// Test seams for crash injection: wrapWriter interposes on the entry
+	// writer (a failing writer simulates a full or dying disk mid-Put),
+	// renameHook replaces the atomic rename (a truncate-then-rename hook
+	// simulates a machine crash that tore the write). Nil means the real
+	// thing.
+	wrapWriter func(io.Writer) io.Writer
+	renameHook func(oldpath, newpath string) error
+}
+
+type fileMeta struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+const (
+	entrySuffix   = ".entry"
+	quarantineDir = "quarantine"
+)
+
+// fileName is the content-addressed file stem for a key. Keys are
+// normally already hex SHA-256 content addresses; hashing again costs
+// little and makes any key filesystem-safe.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// EntryPath returns the path a key's entry file occupies under dir —
+// exported for tests and operational tooling (inspecting or aging a
+// specific entry); the layout is otherwise an implementation detail.
+func EntryPath(dir, key string) string {
+	name := fileName(key)
+	return filepath.Join(dir, name[:2], name+entrySuffix)
+}
+
+// OpenFile opens (creating if needed) a file-backed store rooted at dir.
+// Every existing entry is verified: readable, checksummed, and keyed
+// consistently — anything else is moved to the quarantine subdirectory
+// and the boot continues, so one torn write never takes the cache down.
+// Leftover temporary files from interrupted writes are removed.
+func OpenFile(dir string, opts FileOptions) (*File, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	f := &File{dir: dir, opts: opts, index: make(map[string]*fileMeta)}
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		shardPath := filepath.Join(dir, sh.Name())
+		files, err := os.ReadDir(shardPath)
+		if err != nil {
+			return nil, fmt.Errorf("store: scan %s: %w", shardPath, err)
+		}
+		for _, fi := range files {
+			path := filepath.Join(shardPath, fi.Name())
+			if !strings.HasSuffix(fi.Name(), entrySuffix) {
+				// Interrupted write: the temp file never got renamed.
+				_ = os.Remove(path)
+				continue
+			}
+			info, err := fi.Info()
+			if err != nil {
+				continue // deleted under us
+			}
+			e, err := f.readEntry(path)
+			if err != nil || fileName(e.Key)+entrySuffix != fi.Name() {
+				f.quarantine(path)
+				continue
+			}
+			f.index[e.Key] = &fileMeta{path: path, size: info.Size(), mtime: info.ModTime()}
+			f.bytes += info.Size()
+		}
+	}
+	f.evictOverCapLocked()
+	return f, nil
+}
+
+// Dir returns the store's root directory.
+func (f *File) Dir() string { return f.dir }
+
+// readEntry loads and verifies one entry file.
+func (f *File) readEntry(path string) (Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	return decode(b)
+}
+
+// quarantine moves a damaged file into the quarantine subdirectory
+// (best-effort: if even the move fails, the file is deleted so it can
+// never be served). Callers hold f.mu or have exclusive access.
+func (f *File) quarantine(path string) {
+	f.quarantined++
+	dst := filepath.Join(f.dir, quarantineDir,
+		fmt.Sprintf("%s.%d", filepath.Base(path), f.quarantined))
+	if err := os.Rename(path, dst); err != nil {
+		_ = os.Remove(path)
+	}
+}
+
+// Get returns the entry for key. A damaged entry is quarantined and
+// reported as a miss with a non-nil error.
+func (f *File) Get(key string) (Entry, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Entry{}, false, ErrClosed
+	}
+	meta, ok := f.index[key]
+	if !ok {
+		return Entry{}, false, nil
+	}
+	e, err := f.readEntry(meta.path)
+	if err == nil && e.Key != key {
+		err = errCorrupt{"entry key mismatch"}
+	}
+	if err != nil {
+		if _, corrupt := err.(errCorrupt); corrupt {
+			f.quarantine(meta.path)
+		}
+		delete(f.index, key)
+		f.bytes -= meta.size
+		return Entry{}, false, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	return e, true, nil
+}
+
+// Put persists an entry atomically: write to a temp file in the target
+// shard, fsync, rename over the final name. On success the size cap is
+// enforced by evicting the oldest-mtime entries.
+func (f *File) Put(key string, e Entry) error {
+	e.Key = key
+	b, err := encode(e)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	path := EntryPath(f.dir, key)
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	f.tmpSeq++
+	tmp := fmt.Sprintf("%s.tmp%d", path, f.tmpSeq)
+	if err := f.writeFile(tmp, b); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	rename := os.Rename
+	if f.renameHook != nil {
+		rename = f.renameHook
+	}
+	if err := rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	syncDir(shard)
+	info, err := os.Stat(path)
+	size := int64(len(b))
+	if err == nil {
+		size = info.Size()
+	}
+	if old, ok := f.index[key]; ok {
+		f.bytes -= old.size
+	}
+	//phonocmap:wallclock recency drives cap eviction and warming order only, never result content
+	f.index[key] = &fileMeta{path: path, size: size, mtime: time.Now()}
+	f.bytes += size
+	f.evictOverCapLocked()
+	return nil
+}
+
+// writeFile writes b to path and fsyncs it, routing through the
+// wrapWriter test seam when set.
+func (f *File) writeFile(path string, b []byte) error {
+	file, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = file
+	if f.wrapWriter != nil {
+		w = f.wrapWriter(file)
+	}
+	if _, err := w.Write(b); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// syncDir fsyncs a directory so the rename that landed in it is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// evictOverCapLocked deletes oldest-mtime entries (ties broken by key)
+// until the store fits its byte cap again. At least one entry always
+// survives: evicting the newest write to satisfy an undersized cap would
+// make the store useless rather than small.
+func (f *File) evictOverCapLocked() {
+	if f.opts.MaxBytes <= 0 {
+		return
+	}
+	for f.bytes > f.opts.MaxBytes && len(f.index) > 1 {
+		oldestKey := ""
+		var oldest *fileMeta
+		for k, m := range f.index {
+			if oldest == nil || m.mtime.Before(oldest.mtime) ||
+				(m.mtime.Equal(oldest.mtime) && k < oldestKey) {
+				oldestKey, oldest = k, m
+			}
+		}
+		_ = os.Remove(oldest.path)
+		delete(f.index, oldestKey)
+		f.bytes -= oldest.size
+		f.evictions++
+	}
+}
+
+// Keys lists the stored keys newest-first (mtime descending, ties broken
+// by key ascending) — the order cache warming consumes.
+func (f *File) Keys() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.index))
+	for k := range f.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		mi, mj := f.index[keys[i]].mtime, f.index[keys[j]].mtime
+		if !mi.Equal(mj) {
+			return mi.After(mj)
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Delete removes the entry for key (missing keys are a no-op).
+func (f *File) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	meta, ok := f.index[key]
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(meta.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	delete(f.index, key)
+	f.bytes -= meta.size
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (f *File) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.index)
+}
+
+// Close marks the store closed; subsequent operations fail with
+// ErrClosed. Every write was already fsynced, so there is nothing to
+// flush.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// Stats reports the store's current size and maintenance counters.
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{
+		Entries:     len(f.index),
+		Bytes:       f.bytes,
+		Evictions:   f.evictions,
+		Quarantined: f.quarantined,
+	}
+}

@@ -1,0 +1,28 @@
+package store
+
+// Null is the no-op store: it persists nothing, misses every lookup and
+// never fails. It is the default backing of the service's result cache
+// when no persistence is configured, so the cache code has exactly one
+// shape — a tier over a Store — instead of a nil branch per call site.
+type Null struct{}
+
+// Get always misses.
+func (Null) Get(string) (Entry, bool, error) { return Entry{}, false, nil }
+
+// Put drops the entry.
+func (Null) Put(string, Entry) error { return nil }
+
+// Keys is always empty.
+func (Null) Keys() []string { return nil }
+
+// Delete is a no-op.
+func (Null) Delete(string) error { return nil }
+
+// Len is always zero.
+func (Null) Len() int { return 0 }
+
+// Close is a no-op.
+func (Null) Close() error { return nil }
+
+// Stats is all zeros.
+func (Null) Stats() Stats { return Stats{} }

@@ -14,6 +14,10 @@ func (r *Registry) MustRegister(name, help string, c Collector) {}
 
 func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
 
+func (r *Registry) CounterFn(name, help string, fn func() float64) {}
+
+func (r *Registry) GaugeFn(name, help string, fn func() float64) {}
+
 func (r *Registry) CounterVec(name, help string, labels ...string) *Counter { return &Counter{} }
 
 func (r *Registry) GaugeVec(name, help string, labels ...string) *Counter { return &Counter{} }

@@ -37,3 +37,18 @@ const reqLatency = "phonocmap_req_latency_ms"
 func constName() {
 	reg.Histogram(reqLatency, "named constants are compile-time constants too", nil)
 }
+
+func storeFamilies(entries func() float64) {
+	// The persistent-store families registered through the callback-backed
+	// constructors are registration sites too.
+	reg.CounterFn("phonocmap_store_gets_total", "store lookups", entries)
+	reg.CounterFn("phonocmap_store_hits_total", "store hits", entries)
+	reg.CounterFn("phonocmap_store_puts_total", "store puts", entries)
+	reg.CounterFn("phonocmap_store_errors_total", "store errors", entries)
+	reg.CounterFn("phonocmap_store_evictions_total", "store evictions", entries)
+	reg.GaugeFn("phonocmap_store_entries", "store entries", entries)
+	reg.GaugeFn("phonocmap_store_bytes", "store bytes", entries)
+	reg.CounterFn("store_gets_total", "no prefix", entries)            // want "does not match the required pattern"
+	reg.GaugeFn("phonocmap_store_entries", "dup", entries)             // want "duplicate registration"
+	reg.CounterFn("phonocmap_Store_gets_total", "bad casing", entries) // want "does not match the required pattern"
+}

@@ -40,6 +40,7 @@ import (
 	"phonocmap/internal/scenario"
 	"phonocmap/internal/search"
 	"phonocmap/internal/sim"
+	"phonocmap/internal/store"
 	"phonocmap/internal/sweep"
 	"phonocmap/internal/topo"
 	"phonocmap/internal/wdm"
@@ -178,6 +179,22 @@ type (
 	// FleetConfig configures a FleetRunner (node list, probe cadence,
 	// retry bounds, per-node client options, metrics registry).
 	FleetConfig = fleet.Config
+	// Store is the persistent result-store interface: a versioned,
+	// content-addressed archive of completed runs that phonocmap-serve
+	// layers under its in-memory LRU (read-through on miss, write-behind
+	// on completion, warmed at boot).
+	Store = store.Store
+	// StoreEntry is the full cached payload one Store key maps to:
+	// result, convergence trace, per-island breakdown, analysis report.
+	StoreEntry = store.Entry
+	// FileStore is the stdlib-only file-backed Store: one fsynced file
+	// per entry in a sharded content-addressed layout, atomic writes,
+	// quarantine for damaged entries, optional size-cap eviction.
+	FileStore = store.File
+	// FileStoreOptions tunes a FileStore (disk size cap).
+	FileStoreOptions = store.FileOptions
+	// NullStore is the no-op Store (nothing persists).
+	NullStore = store.Null
 )
 
 // Objective values.
@@ -413,6 +430,13 @@ func NewClient(serverURL string, opts ...client.Option) (Runner, error) {
 // health prober.
 func NewFleetRunner(cfg FleetConfig) (*FleetRunner, error) {
 	return fleet.New(cfg)
+}
+
+// OpenFileStore opens (creating if needed) a persistent result store
+// rooted at dir — the store phonocmap-serve mounts with -cache-dir.
+// Damaged entries found at open are quarantined, never served.
+func OpenFileStore(dir string, opts FileStoreOptions) (*FileStore, error) {
+	return store.OpenFile(dir, opts)
 }
 
 // RunExperiment executes a declarative experiment description end to end
